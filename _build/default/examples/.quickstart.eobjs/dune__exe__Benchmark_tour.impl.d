@@ -1,0 +1,1 @@
+examples/benchmark_tour.ml: List Option Printf Tqec_baseline Tqec_bridge Tqec_canonical Tqec_circuit Tqec_core Tqec_icm Tqec_modular Tqec_report Tqec_route

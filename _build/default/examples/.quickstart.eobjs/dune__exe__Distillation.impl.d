@@ -1,0 +1,1 @@
+examples/distillation.ml: Array Circuit Gate List Printf String Tqec_circuit Tqec_core Tqec_geom Tqec_icm Tqec_place

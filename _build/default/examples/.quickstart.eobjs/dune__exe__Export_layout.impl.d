@@ -1,0 +1,1 @@
+examples/export_layout.ml: Array List Printf Sys Tqec_circuit Tqec_core Tqec_modular Tqec_report Tqec_route

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Tqec_bridge Tqec_canonical Tqec_circuit Tqec_core Tqec_icm Tqec_modular Tqec_place Tqec_report

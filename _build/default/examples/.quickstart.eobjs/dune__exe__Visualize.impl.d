@@ -1,0 +1,1 @@
+examples/visualize.ml: Circuit Gate Printf Tqec_circuit Tqec_core Tqec_report

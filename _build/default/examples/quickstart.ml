@@ -1,0 +1,63 @@
+(* Quickstart: compress the paper's motivating example (Fig. 4/5/9).
+
+   A three-CNOT circuit maps to a canonical geometric description of volume
+   54 (9 x 3 x 2). The paper shows topological deformation alone reaches 32,
+   and bridge compression + deformation reaches 18. This example runs the
+   automated flow end-to-end and prints each stage.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let circuit =
+    Tqec_circuit.Circuit.make ~name:"fig4-motivating" ~num_qubits:3
+      [ Tqec_circuit.Gate.Cnot { control = 0; target = 1 };
+        Tqec_circuit.Gate.Cnot { control = 1; target = 2 };
+        Tqec_circuit.Gate.Cnot { control = 0; target = 2 } ]
+  in
+  Printf.printf "Input circuit: %s, %d qubits, %d CNOT gates\n\n"
+    circuit.Tqec_circuit.Circuit.name circuit.Tqec_circuit.Circuit.num_qubits
+    (Tqec_circuit.Circuit.gate_count circuit);
+
+  (* Stage 1: ICM representation and canonical geometric description. *)
+  let icm = Tqec_icm.Icm.of_circuit circuit in
+  let canonical = Tqec_canonical.Canonical.of_icm icm in
+  let cw, ch, cd = Tqec_canonical.Canonical.dims canonical in
+  Printf.printf "Canonical description: %d x %d x %d = volume %d (paper: 54)\n" cd cw ch
+    (Tqec_canonical.Canonical.volume canonical);
+
+  (* Stage 2: modularization — Fig. 9 derives 6 modules and 9 nets. *)
+  let modular = Tqec_modular.Modular.of_icm icm in
+  let naive = Tqec_bridge.Bridge.naive_nets modular in
+  Printf.printf "Modularization: %d modules, %d dual-defect nets (paper: 6 and 9)\n"
+    (Tqec_modular.Modular.num_modules modular)
+    (List.length naive);
+
+  (* Stage 3: iterative bridging merges the three dual loops. *)
+  let bridge = Tqec_bridge.Bridge.run modular in
+  Printf.printf "Bridging: %d merges -> %d bridge structure(s), %d nets\n"
+    bridge.Tqec_bridge.Bridge.merges
+    (List.length bridge.Tqec_bridge.Bridge.structures)
+    (List.length bridge.Tqec_bridge.Bridge.nets);
+
+  (* Stage 4: the full automated flow (placement + routing). *)
+  let options =
+    Tqec_core.Flow.scale_options ~sa_iterations:20000
+      { Tqec_core.Flow.default_options with
+        Tqec_core.Flow.place =
+          { Tqec_place.Place25d.default_config with Tqec_place.Place25d.tiers = Some 2 } }
+  in
+  let flow = Tqec_core.Flow.run ~options circuit in
+  let w, h, d = flow.Tqec_core.Flow.dims in
+  Printf.printf "Compressed:   %d x %d x %d = volume %d\n" d w h
+    flow.Tqec_core.Flow.volume;
+  print_endline
+    "(On a circuit this small the module-based flow carries fixed overhead;\n\
+    \ the paper's hand-drawn 18-unit result exploits deformations below the\n\
+    \ module granularity. At benchmark scale the flow wins decisively — run\n\
+    \ examples/benchmark_tour.exe to see 136,836 -> ~70,000 on 4gt10-v1_81.)\n";
+  (match Tqec_core.Flow.validate flow with
+   | Ok () -> print_endline "All invariants hold (no overlaps, ordering, routing)."
+   | Error e -> Printf.printf "Validation failed: %s\n" e);
+  print_newline ();
+  print_endline "Layout (bottom slice):";
+  print_string (Tqec_report.Ascii_layout.render ~max_slices:2 flow)

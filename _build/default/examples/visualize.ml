@@ -1,0 +1,29 @@
+(* Layout visualization (Fig. 20 analogue).
+
+   Compresses a small T-gate circuit and dumps ASCII z-slices of the final
+   3D layout: '#' wire modules, 'X' crossing modules, 'Y'/'A' distillation
+   boxes, '*' routed dual-defect nets.
+
+   Run with: dune exec examples/visualize.exe *)
+
+let () =
+  let open Tqec_circuit in
+  let circuit =
+    Circuit.make ~name:"visual" ~num_qubits:3
+      [ Gate.Cnot { control = 0; target = 1 };
+        Gate.T 1;
+        Gate.Cnot { control = 1; target = 2 };
+        Gate.Cnot { control = 0; target = 2 } ]
+  in
+  let options =
+    Tqec_core.Flow.scale_options ~sa_iterations:15000 Tqec_core.Flow.default_options
+  in
+  let flow = Tqec_core.Flow.run ~options circuit in
+  let w, h, d = flow.Tqec_core.Flow.dims in
+  Printf.printf "%s compressed to W=%d H=%d D=%d (volume %d)\n\n"
+    circuit.Circuit.name w h d flow.Tqec_core.Flow.volume;
+  Printf.printf "legend: # wire module, X crossing, Y/A distillation box, * routed net\n\n";
+  print_string (Tqec_report.Ascii_layout.render ~max_slices:6 flow);
+  match Tqec_core.Flow.validate flow with
+  | Ok () -> print_endline "validated."
+  | Error e -> Printf.printf "validation failed: %s\n" e

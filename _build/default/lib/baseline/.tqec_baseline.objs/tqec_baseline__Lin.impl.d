@@ -1,0 +1,1 @@
+lib/baseline/lin.ml: Array Tqec_circuit Tqec_icm

@@ -1,0 +1,1 @@
+lib/baseline/lin.mli: Tqec_circuit Tqec_icm

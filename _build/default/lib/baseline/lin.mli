@@ -1,0 +1,35 @@
+(** Re-implementation of the layout-synthesis baseline of Lin et al. [22]
+    ("Layout synthesis for topological quantum circuits with 1-D and 2-D
+    architectures", TCAD 2018), used as the comparison point of Tables II
+    and IV.
+
+    Qubits sit on a fixed 1D line or 2D grid; every CNOT is realized by a
+    dual-defect routing pattern covering the region between its control and
+    target. Patterns that do not conflict (their regions are disjoint) and
+    respect data dependencies execute in the same time slot. The original
+    engine picks non-conflicting pattern sets by solving a maximum-weighted
+    independent-set problem; this re-implementation uses the equivalent
+    dependency-respecting greedy ASAP schedule, which preserves the volume
+    shape (1D needs more slots than 2D; both dwarf the bridge-compressed
+    result and beat the canonical form).
+
+    Geometry constants are calibrated to [22]'s own Table IV rows: a qubit
+    (wire) occupies a unit pitch, a time slot costs 2 units along the time
+    axis, and the 2D arrangement uses 4 qubit rows of pitch 2 (H = 8). *)
+
+type arrangement = One_d | Two_d
+
+type result = {
+  arrangement : arrangement;
+  width : int;
+  height : int;
+  depth : int;
+  volume : int;        (** W · H · D of the synthesized circuit *)
+  total_volume : int;  (** plus the distillation-box lower bound *)
+  slots : int;         (** scheduled time slots *)
+}
+
+val run : arrangement -> Tqec_icm.Icm.t -> result
+
+val of_circuit : arrangement -> Tqec_circuit.Circuit.t -> result
+(** Decomposes and converts first. *)

@@ -1,0 +1,1 @@
+lib/bridge/bridge.ml: Array Hashtbl Int List Option Printf Queue Set Stdlib Tqec_modular Tqec_prelude

@@ -1,0 +1,1 @@
+lib/bridge/bridge.mli: Stdlib Tqec_modular

@@ -1,0 +1,1 @@
+lib/canonical/canonical.ml: Array List Printf Tqec_geom Tqec_icm

@@ -1,0 +1,1 @@
+lib/canonical/canonical.mli: Tqec_geom Tqec_icm

@@ -1,0 +1,36 @@
+(** Canonical 3D geometric description of an ICM circuit (§I, Fig. 4).
+
+    Every ICM wire becomes a primal defect pair running along the time axis
+    at its own row; every CNOT becomes a dual loop braided around the control
+    and target rails in its own 3-unit time slot. The canonical form is the
+    un-optimized starting point of all methods: width W = #wires, height
+    H = 2, depth D = 3·#CNOTs. The mapping is linear in the number of CNOTs,
+    as the paper notes. *)
+
+type defect = Primal | Dual
+
+type element = {
+  defect : defect;
+  cuboid : Tqec_geom.Cuboid.t;
+  label : string;  (** e.g. ["wire 3"], ["cnot 7 loop"] *)
+}
+
+type t = {
+  icm : Tqec_icm.Icm.t;
+  width : int;   (** W: units along y *)
+  height : int;  (** H: units along z, always 2 *)
+  depth : int;   (** D: units along x (time) *)
+  elements : element list;
+}
+
+val of_icm : Tqec_icm.Icm.t -> t
+
+val volume : t -> int
+(** W · H · D, the canonical space-time volume ("Vol_o"). *)
+
+val total_volume : t -> int
+(** Canonical volume plus the distillation-box lower bound
+    (18·#\|Y⟩ + 192·#\|A⟩) — the "Vol_t" reported in Table II. *)
+
+val dims : t -> int * int * int
+(** [(w, h, d)]. *)

@@ -1,0 +1,1 @@
+lib/circuit/benchmarks.ml: Array Char Circuit Gate List String Tqec_prelude

@@ -1,0 +1,1 @@
+lib/circuit/benchmarks.mli: Circuit

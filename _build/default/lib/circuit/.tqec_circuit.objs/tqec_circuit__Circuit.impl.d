@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Format Gate Int List Printf

@@ -1,0 +1,1 @@
+lib/circuit/decompose.ml: Circuit Gate List

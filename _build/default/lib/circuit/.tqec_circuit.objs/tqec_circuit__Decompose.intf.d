@@ -1,0 +1,1 @@
+lib/circuit/decompose.mli: Circuit Gate

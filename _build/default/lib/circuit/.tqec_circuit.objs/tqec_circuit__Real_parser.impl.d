@@ -1,0 +1,1 @@
+lib/circuit/real_parser.ml: Circuit Filename Gate Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/real_parser.mli: Circuit

@@ -1,0 +1,1 @@
+lib/circuit/semantics.ml: Array Circuit Complex Gate List Tqec_sim

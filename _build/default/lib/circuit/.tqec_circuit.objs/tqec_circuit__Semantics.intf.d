@@ -1,0 +1,1 @@
+lib/circuit/semantics.mli: Circuit Gate Tqec_sim

@@ -1,0 +1,36 @@
+(** The paper's RevLib benchmark suite, rebuilt synthetically.
+
+    The actual RevLib circuit files are not available offline, but the
+    paper's Table I obeys an exact structural model (see DESIGN.md): each
+    benchmark consists of [toffolis] Toffoli gates plus [cnots] plain CNOTs,
+    and every derived statistic follows from the decomposition rules. The
+    generators here produce deterministic pseudo-random circuits with exactly
+    those gate counts, so the whole Table I reproduces exactly while gate
+    connectivity stays realistic. *)
+
+type spec = {
+  name : string;
+  qubits : int;       (** #Qubits_o *)
+  toffolis : int;
+  cnots : int;
+  paper_volume_ours : int;      (** Table II "Ours" total volume *)
+  paper_volume_canonical : int; (** Table II "Canonical" total volume *)
+  paper_volume_lin1d : int;     (** Table II "[22] (1D)" total volume *)
+  paper_volume_lin2d : int;     (** Table II "[22] (2D)" total volume *)
+  paper_modules : int;          (** Table I #Modules *)
+  paper_nets : int;             (** Table I #Nets *)
+  paper_nodes : int;            (** Table I #Nodes *)
+}
+
+val all : spec list
+(** The eight benchmarks of Table I, smallest first. *)
+
+val find : string -> spec option
+
+val generate : ?seed:int -> spec -> Circuit.t
+(** Deterministic circuit with exactly [spec.toffolis] Toffolis and
+    [spec.cnots] CNOTs on [spec.qubits] qubits, interleaved pseudo-randomly.
+    Benchmarks narrower than 3 qubits are rejected. *)
+
+val gate_count : spec -> int
+(** [toffolis + cnots] — the paper's #Gates column. *)

@@ -1,0 +1,39 @@
+type t = { name : string; num_qubits : int; gates : Gate.t list }
+
+let validate_gate num_qubits g =
+  let qs = Gate.qubits g in
+  List.iter
+    (fun q ->
+      if q < 0 || q >= num_qubits then
+        invalid_arg
+          (Printf.sprintf "Circuit.make: gate %s uses qubit %d outside [0,%d)"
+             (Gate.to_string g) q num_qubits))
+    qs;
+  let sorted = List.sort_uniq Int.compare qs in
+  if List.length sorted <> List.length qs then
+    invalid_arg (Printf.sprintf "Circuit.make: gate %s repeats a qubit" (Gate.to_string g))
+
+let make ~name ~num_qubits gates =
+  if num_qubits <= 0 then invalid_arg "Circuit.make: num_qubits must be positive";
+  List.iter (validate_gate num_qubits) gates;
+  { name; num_qubits; gates }
+
+let gate_count t = List.length t.gates
+
+let count_if t pred = List.length (List.filter pred t.gates)
+
+let t_count t = count_if t Gate.is_t_type
+
+let cnot_count t = count_if t (function Gate.Cnot _ -> true | _ -> false)
+
+let is_tqec_supported t = List.for_all Gate.is_tqec_supported t.gates
+
+let append t gates =
+  List.iter (validate_gate t.num_qubits) gates;
+  { t with gates = t.gates @ gates }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>circuit %s (%d qubits, %d gates)" t.name t.num_qubits
+    (gate_count t);
+  List.iter (fun g -> Format.fprintf fmt "@,  %a" Gate.pp g) t.gates;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,24 @@
+(** A quantum circuit: a gate list over a fixed register. *)
+
+type t = { name : string; num_qubits : int; gates : Gate.t list }
+
+val make : name:string -> num_qubits:int -> Gate.t list -> t
+(** Validates that every gate touches only qubits in
+    [\[0, num_qubits)] and that multi-qubit gates use distinct qubits.
+    @raise Invalid_argument otherwise. *)
+
+val gate_count : t -> int
+
+val count_if : t -> (Gate.t -> bool) -> int
+
+val t_count : t -> int
+(** Number of T-type gates (T and T†). *)
+
+val cnot_count : t -> int
+
+val is_tqec_supported : t -> bool
+(** All gates lie in the TQEC-supported set. *)
+
+val append : t -> Gate.t list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(* The Toffoli network below is the textbook one: reading left to right it
+   applies H on the target, then the alternating CNOT/T ladder, and the
+   trailing control-control phase fix-up. T-count 7, CNOT-count 6. *)
+let toffoli ~c1 ~c2 ~target =
+  let a = c1 and b = c2 and c = target in
+  [ Gate.H c;
+    Gate.Cnot { control = b; target = c };
+    Gate.Tdag c;
+    Gate.Cnot { control = a; target = c };
+    Gate.T c;
+    Gate.Cnot { control = b; target = c };
+    Gate.Tdag c;
+    Gate.Cnot { control = a; target = c };
+    Gate.T b;
+    Gate.T c;
+    Gate.H c;
+    Gate.Cnot { control = a; target = b };
+    Gate.T a;
+    Gate.Tdag b;
+    Gate.Cnot { control = a; target = b } ]
+
+let hadamard q = [ Gate.P q; Gate.V q; Gate.P q ]
+
+let fredkin ~control ~a ~b =
+  [ Gate.Cnot { control = b; target = a };
+    Gate.Toffoli { c1 = control; c2 = a; target = b };
+    Gate.Cnot { control = b; target = a } ]
+
+let rec gate g =
+  match g with
+  | Gate.Cnot _ | Gate.P _ | Gate.Pdag _ | Gate.V _ | Gate.Vdag _ | Gate.T _
+  | Gate.Tdag _ | Gate.Not _ ->
+      [ g ]
+  | Gate.Z q -> [ Gate.P q; Gate.P q ]
+  | Gate.H q -> hadamard q
+  | Gate.Toffoli { c1; c2; target } ->
+      List.concat_map gate (toffoli ~c1 ~c2 ~target)
+  | Gate.Fredkin { control; a; b } ->
+      List.concat_map gate (fredkin ~control ~a ~b)
+
+let circuit c =
+  let gates = List.concat_map gate c.Circuit.gates in
+  Circuit.make ~name:c.Circuit.name ~num_qubits:c.Circuit.num_qubits gates

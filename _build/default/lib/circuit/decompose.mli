@@ -1,0 +1,28 @@
+(** Gate decomposition into the TQEC-supported universal set (§III-A).
+
+    The TQEC scheme supports {CNOT, P, V, T} (and their inverses, which cost
+    the same). The decomposition rules are the paper's:
+    - Toffoli → 6 CNOT + 7 T-type gates + 2 H (Nielsen–Chuang, Fig. 12);
+    - H → P · V · P (Fig. 13);
+    - Fredkin(c; a, b) → CNOT(b, a) · Toffoli(c, a, b) · CNOT(b, a);
+    - Z → P · P; X stays in the Pauli frame.
+
+    Every rule is verified against the state-vector simulator in the test
+    suite (equality up to global phase). *)
+
+val toffoli : c1:int -> c2:int -> target:int -> Gate.t list
+(** The 15-gate Toffoli decomposition over {CNOT, H, T, T†}; the two H gates
+    are left for a subsequent {!gate} pass. *)
+
+val hadamard : int -> Gate.t list
+(** H = P · V · P. *)
+
+val fredkin : control:int -> a:int -> b:int -> Gate.t list
+
+val gate : Gate.t -> Gate.t list
+(** Fully decompose one gate to the TQEC-supported set. Supported gates map
+    to themselves. *)
+
+val circuit : Circuit.t -> Circuit.t
+(** Decompose every gate; the result satisfies
+    {!Circuit.is_tqec_supported}. *)

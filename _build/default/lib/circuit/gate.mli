@@ -1,0 +1,40 @@
+(** Quantum gates of the input IR.
+
+    The input language covers the reversible-circuit gates of the RevLib
+    benchmarks (NOT / CNOT / Toffoli / Fredkin) plus the single-qubit gates
+    that appear during decomposition to the TQEC-supported universal set
+    {CNOT, P, V, T} (§III-A of the paper). Inverse gates P†, V†, T† are kept
+    explicit; for TQEC resource accounting a T† costs the same as a T. *)
+
+type t =
+  | Not of int
+  | Cnot of { control : int; target : int }
+  | Toffoli of { c1 : int; c2 : int; target : int }
+  | Fredkin of { control : int; a : int; b : int }
+  | H of int
+  | P of int
+  | Pdag of int
+  | V of int
+  | Vdag of int
+  | T of int
+  | Tdag of int
+  | Z of int
+
+val qubits : t -> int list
+(** Qubits the gate acts on, controls first. *)
+
+val max_qubit : t -> int
+
+val is_tqec_supported : t -> bool
+(** True for gates directly implementable in the TQEC scheme:
+    CNOT, P, P†, V, V†, T, T† — plus NOT/Z which are tracked in the Pauli
+    frame and cost nothing. *)
+
+val is_t_type : t -> bool
+(** T or T† — the gates that consume one \|A⟩ and two \|Y⟩ ancillas. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** Parser for the RevLib [.real] reversible-circuit exchange format.
+
+    The paper's benchmarks come from RevLib [39]; this parser accepts the
+    common subset of the format: [.version], [.numvars], [.variables],
+    [.constants], [.garbage], [.begin] / [.end], comment lines ([#]), and the
+    gate lines [tN v1 … vN] (multiple-control Toffoli) and [fN] (multiple-
+    control Fredkin). Multi-control gates with more than two controls are
+    lowered to Toffolis with clean ancilla qubits (a standard V-chain
+    ladder), so any parsed circuit is expressible in the input IR. *)
+
+exception Parse_error of string
+
+val of_string : name:string -> string -> Circuit.t
+(** @raise Parse_error on malformed input. *)
+
+val of_file : string -> Circuit.t
+(** Circuit named after the file's basename. *)

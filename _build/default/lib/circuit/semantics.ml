@@ -1,0 +1,72 @@
+module State = Tqec_sim.State
+
+let apply_gate st g =
+  match g with
+  | Gate.Not q -> State.apply_1q st q State.m_x
+  | Gate.Z q -> State.apply_1q st q State.m_z
+  | Gate.H q -> State.apply_1q st q State.m_h
+  | Gate.P q -> State.apply_1q st q State.m_p
+  | Gate.Pdag q -> State.apply_1q st q State.m_pdag
+  | Gate.V q -> State.apply_1q st q State.m_v
+  | Gate.Vdag q -> State.apply_1q st q State.m_vdag
+  | Gate.T q -> State.apply_1q st q State.m_t
+  | Gate.Tdag q -> State.apply_1q st q State.m_tdag
+  | Gate.Cnot { control; target } -> State.apply_cnot st ~control ~target
+  | Gate.Toffoli { c1; c2; target } -> State.apply_toffoli st ~c1 ~c2 ~target
+  | Gate.Fredkin { control; a; b } ->
+      State.apply_cnot st ~control:b ~target:a;
+      State.apply_toffoli st ~c1:control ~c2:a ~target:b;
+      State.apply_cnot st ~control:b ~target:a
+
+let apply st c = List.iter (apply_gate st) c.Circuit.gates
+
+let run_on_basis c k =
+  let st = State.of_basis c.Circuit.num_qubits k in
+  apply st c;
+  st
+
+(* Unitary equivalence up to ONE global phase: determine the candidate phase
+   λ from the largest entry of the first column, then require
+   U2[i][k] = λ·U1[i][k] for every entry of every column. *)
+let equivalent ?(eps = 1e-9) c1 c2 =
+  if c1.Circuit.num_qubits <> c2.Circuit.num_qubits then false
+  else begin
+    let n = c1.Circuit.num_qubits in
+    let dim = 1 lsl n in
+    let col c k =
+      let st = run_on_basis c k in
+      Array.init dim (State.amplitude st)
+    in
+    let u1_0 = col c1 0 and u2_0 = col c2 0 in
+    let best = ref 0 and best_mag = ref 0.0 in
+    Array.iteri
+      (fun i a ->
+        let m = Complex.norm2 a in
+        if m > !best_mag then begin
+          best_mag := m;
+          best := i
+        end)
+      u1_0;
+    if !best_mag < eps then false
+    else begin
+      let phase = Complex.div u2_0.(!best) u1_0.(!best) in
+      if abs_float (Complex.norm phase -. 1.0) > 1e-6 then false
+      else begin
+        let column_matches k =
+          let a = col c1 k and b = col c2 k in
+          let ok = ref true in
+          Array.iteri
+            (fun i ai ->
+              let d = Complex.sub (Complex.mul phase ai) b.(i) in
+              if Complex.norm2 d > eps then ok := false)
+            a;
+          !ok
+        in
+        let all = ref true in
+        for k = 0 to dim - 1 do
+          if !all then all := column_matches k
+        done;
+        !all
+      end
+    end
+  end

@@ -1,0 +1,18 @@
+(** Circuit semantics via the state-vector simulator.
+
+    Lets tests and examples check functional equivalence of circuits, in
+    particular that decomposition preserves the computation (up to global
+    phase), which underpins the paper's claim that deformations and
+    decompositions leave functionality unchanged. *)
+
+val apply_gate : Tqec_sim.State.t -> Gate.t -> unit
+
+val apply : Tqec_sim.State.t -> Circuit.t -> unit
+
+val run_on_basis : Circuit.t -> int -> Tqec_sim.State.t
+(** [run_on_basis c k] applies [c] to basis state |k⟩. *)
+
+val equivalent : ?eps:float -> Circuit.t -> Circuit.t -> bool
+(** Functional equivalence up to a single global phase, checked on all basis
+    states (the phase must be the same for every input). Circuits must have
+    the same width; practical below ~10 qubits. *)

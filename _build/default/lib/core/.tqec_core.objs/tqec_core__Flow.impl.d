@@ -1,0 +1,1 @@
+lib/core/flow.ml: List Printf Tqec_bridge Tqec_canonical Tqec_circuit Tqec_icm Tqec_modular Tqec_place Tqec_prelude Tqec_route

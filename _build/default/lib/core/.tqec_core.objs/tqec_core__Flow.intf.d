@@ -1,0 +1,1 @@
+lib/core/flow.mli: Stdlib Tqec_bridge Tqec_canonical Tqec_circuit Tqec_icm Tqec_modular Tqec_place Tqec_route

@@ -1,0 +1,146 @@
+module Stopwatch = Tqec_prelude.Stopwatch
+module Circuit = Tqec_circuit.Circuit
+module Decompose = Tqec_circuit.Decompose
+module Icm = Tqec_icm.Icm
+module Stats = Tqec_icm.Stats
+module Canonical = Tqec_canonical.Canonical
+module Modular = Tqec_modular.Modular
+module Bridge = Tqec_bridge.Bridge
+module Cluster = Tqec_place.Cluster
+module Place25d = Tqec_place.Place25d
+module Router = Tqec_route.Router
+
+type options = {
+  bridging : bool;
+  primal_groups : bool;
+  friend_aware : bool;
+  max_group_size : int;
+  place : Place25d.config;
+  route : Router.config;
+}
+
+let default_options =
+  { bridging = true;
+    primal_groups = true;
+    friend_aware = true;
+    max_group_size = 4;
+    place = Place25d.default_config;
+    route = Router.default_config }
+
+let scale_options ?sa_iterations ?route_iterations options =
+  let place =
+    match sa_iterations with
+    | None -> options.place
+    | Some iterations ->
+        { options.place with
+          Place25d.sa = { options.place.Place25d.sa with Tqec_place.Sa.iterations } }
+  in
+  let route =
+    match route_iterations with
+    | None -> options.route
+    | Some max_iterations -> { options.route with Router.max_iterations }
+  in
+  { options with place; route }
+
+type breakdown = {
+  t_preprocess : float;
+  t_bridging : float;
+  t_placement : float;
+  t_routing : float;
+  t_total : float;
+}
+
+type t = {
+  name : string;
+  stats : Stats.t;
+  canonical : Canonical.t;
+  modular : Modular.t;
+  bridge : Bridge.result option;
+  nets : Bridge.net list;
+  cluster : Cluster.t;
+  placement : Place25d.placement;
+  routing : Router.result;
+  dims : int * int * int;
+  volume : int;
+  total_volume : int;
+  breakdown : breakdown;
+}
+
+let run ?(options = default_options) circuit =
+  let total = Stopwatch.start () in
+  let (decomposed, icm, canonical, modular), t_preprocess =
+    Stopwatch.time (fun () ->
+        let decomposed = Decompose.circuit circuit in
+        let icm = Icm.of_circuit decomposed in
+        let canonical = Canonical.of_icm icm in
+        let modular = Modular.of_icm icm in
+        (decomposed, icm, canonical, modular))
+  in
+  ignore decomposed;
+  let stats =
+    Stats.of_icm ~qubits_o:circuit.Circuit.num_qubits
+      ~gates_o:(Circuit.gate_count circuit) icm
+  in
+  let (bridge, nets), t_bridging =
+    Stopwatch.time (fun () ->
+        if options.bridging then begin
+          let r = Bridge.run modular in
+          (Some r, r.Bridge.nets)
+        end
+        else (None, Bridge.naive_nets modular))
+  in
+  let (cluster, placement), t_placement =
+    Stopwatch.time (fun () ->
+        let cluster =
+          Cluster.build ~primal_groups:options.primal_groups
+            ~max_group_size:options.max_group_size modular
+        in
+        let placement = Place25d.place options.place cluster nets in
+        (cluster, placement))
+  in
+  let route_options =
+    { options.route with Router.friend_aware = options.friend_aware && options.bridging }
+  in
+  let routing, t_routing =
+    Stopwatch.time (fun () -> Router.route route_options placement nets)
+  in
+  let d, w, h = routing.Router.dims in
+  let volume = routing.Router.volume in
+  { name = circuit.Circuit.name;
+    stats;
+    canonical;
+    modular;
+    bridge;
+    nets;
+    cluster;
+    placement;
+    routing;
+    dims = (w, h, d);
+    volume;
+    total_volume = volume;
+    breakdown =
+      { t_preprocess;
+        t_bridging;
+        t_placement;
+        t_routing;
+        t_total = Stopwatch.elapsed_s total } }
+
+let num_nodes t = Cluster.num_clusters t.cluster
+
+let num_nets t = List.length t.nets
+
+let validate t =
+  match Place25d.check_no_overlap t.placement with
+  | Error _ as e -> e
+  | Ok () ->
+      (match Place25d.check_time_ordering t.placement with
+       | Error _ as e -> e
+       | Ok () ->
+           (match Router.validate t.placement t.routing with
+            | Error _ as e -> e
+            | Ok () ->
+                if t.routing.Router.failed = [] then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "%d nets remain unrouted"
+                       (List.length t.routing.Router.failed))))

@@ -1,0 +1,62 @@
+(** The end-to-end TQEC circuit compression flow (Fig. 11).
+
+    Preprocess (gate decomposition → ICM → canonical description →
+    modularization) → iterative bridging → module clustering →
+    time-ordering-aware 2.5D placement → dual-defect net routing. Ablation
+    switches reproduce the paper's comparison points: [bridging:false] is the
+    Table V baseline, [primal_groups:false] is the conference version [36]
+    of Table III, and [friend_aware:false] isolates the routing contribution.
+
+    The result carries the per-stage runtime breakdown reported in
+    Table VI. *)
+
+type options = {
+  bridging : bool;
+  primal_groups : bool;
+  friend_aware : bool;
+  max_group_size : int;
+  place : Tqec_place.Place25d.config;
+  route : Tqec_route.Router.config;
+}
+
+val default_options : options
+
+val scale_options : ?sa_iterations:int -> ?route_iterations:int -> options -> options
+(** Convenience for per-benchmark effort budgets. *)
+
+type breakdown = {
+  t_preprocess : float;
+  t_bridging : float;
+  t_placement : float;
+  t_routing : float;
+  t_total : float;
+}
+
+type t = {
+  name : string;
+  stats : Tqec_icm.Stats.t;
+  canonical : Tqec_canonical.Canonical.t;
+  modular : Tqec_modular.Modular.t;
+  bridge : Tqec_bridge.Bridge.result option;  (** [None] when bridging is off *)
+  nets : Tqec_bridge.Bridge.net list;
+  cluster : Tqec_place.Cluster.t;
+  placement : Tqec_place.Place25d.placement;
+  routing : Tqec_route.Router.result;
+  dims : int * int * int;   (** (w, h, d) of the compressed circuit *)
+  volume : int;             (** compressed space-time volume, boxes included *)
+  total_volume : int;       (** volume (boxes are already placed inside) *)
+  breakdown : breakdown;
+}
+
+val run : ?options:options -> Tqec_circuit.Circuit.t -> t
+(** Compress a circuit. The input may contain arbitrary supported gates;
+    decomposition happens inside. Deterministic for fixed options. *)
+
+val num_nodes : t -> int
+(** #Nodes of Table I: top-level clusters in the 2.5D B*-tree. *)
+
+val num_nets : t -> int
+
+val validate : t -> (unit, string) Stdlib.result
+(** End-to-end invariants: placement overlap-free and time-ordered, routing
+    valid, every net routed. *)

@@ -1,0 +1,1 @@
+lib/geom/cuboid.ml: Format List Point3 Printf

@@ -1,0 +1,1 @@
+lib/geom/cuboid.mli: Format Point3

@@ -1,0 +1,51 @@
+(** Axis-aligned integer cuboids.
+
+    A cuboid occupies the half-open lattice box
+    [\[lo.x, hi.x) × \[lo.y, hi.y) × \[lo.z, hi.z)]. Cuboids model defect
+    segments, modules, distillation boxes and routing obstacles; the
+    space-time volume of a TQEC circuit is the volume of the bounding cuboid
+    of its geometry. *)
+
+type t = { lo : Point3.t; hi : Point3.t }
+
+val make : Point3.t -> Point3.t -> t
+(** [make lo hi] requires [lo <= hi] component-wise. *)
+
+val of_origin_size : Point3.t -> w:int -> h:int -> d:int -> t
+(** Cuboid with the given origin; [d] extends along x (time), [w] along y
+    (width), [h] along z (height). *)
+
+val dims : t -> int * int * int
+(** [(d, w, h)] — extents along x, y, z. *)
+
+val volume : t -> int
+
+val is_empty : t -> bool
+
+val contains_point : t -> Point3.t -> bool
+
+val overlaps : t -> t -> bool
+(** Strict interior overlap of the half-open boxes. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner]. *)
+
+val union : t -> t -> t
+(** Bounding cuboid of both. *)
+
+val inflate : t -> int -> t
+(** Grow by [n] units in every direction (clamped at nothing; coordinates may
+    go negative). *)
+
+val intersect : t -> t -> t option
+
+val translate : t -> Point3.t -> t
+
+val bounding : t list -> t option
+(** Bounding cuboid of a non-empty list. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t = { x : int; y : int; z : int }
+
+let make x y z = { x; y; z }
+let zero = { x = 0; y = 0; z = 0 }
+
+let add a b = { x = a.x + b.x; y = a.y + b.y; z = a.z + b.z }
+let sub a b = { x = a.x - b.x; y = a.y - b.y; z = a.z - b.z }
+
+let equal a b = a.x = b.x && a.y = b.y && a.z = b.z
+
+let compare a b =
+  let c = Int.compare a.x b.x in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.y b.y in
+    if c <> 0 then c else Int.compare a.z b.z
+
+let hash { x; y; z } = (x * 73856093) lxor (y * 19349663) lxor (z * 83492791)
+
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y) + abs (a.z - b.z)
+
+let neighbors { x; y; z } =
+  [ { x = x + 1; y; z };
+    { x = x - 1; y; z };
+    { x; y = y + 1; z };
+    { x; y = y - 1; z };
+    { x; y; z = z + 1 };
+    { x; y; z = z - 1 } ]
+
+let to_string { x; y; z } = Printf.sprintf "(%d,%d,%d)" x y z
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

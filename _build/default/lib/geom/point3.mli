@@ -1,0 +1,29 @@
+(** Integer lattice points of the 3D space-time grid.
+
+    Axis convention throughout the library (matching the paper's figures):
+    [x] is the time axis (depth D, "time goes from left to right"), [y] is
+    the width axis (W), and [z] is the height axis (H). One unit is the
+    minimum separation between disjoint defects. *)
+
+type t = { x : int; y : int; z : int }
+
+val make : int -> int -> int -> t
+
+val zero : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val manhattan : t -> t -> int
+(** L1 distance, the wirelength estimate used by the placement cost. *)
+
+val neighbors : t -> t list
+(** The six axis-adjacent lattice points (routing moves). *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/icm/icm.ml: Array Circuit Gate Int List Printf Tqec_circuit

@@ -1,0 +1,1 @@
+lib/icm/icm.mli: Tqec_circuit

@@ -1,0 +1,1 @@
+lib/icm/recycle.ml: Array Icm Int List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/icm/recycle.mli: Icm Stdlib

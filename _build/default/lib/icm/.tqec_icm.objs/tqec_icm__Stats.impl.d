@@ -1,0 +1,1 @@
+lib/icm/stats.ml: Circuit Decompose Format Icm Tqec_circuit

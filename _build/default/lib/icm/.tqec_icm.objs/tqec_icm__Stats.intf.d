@@ -1,0 +1,1 @@
+lib/icm/stats.mli: Format Icm Tqec_circuit

@@ -1,0 +1,195 @@
+type wire_init = Init_zero | Init_plus | Init_y | Init_a
+
+type wire = { wire_id : int; init : wire_init; data_qubit : int option }
+
+type cnot = { cnot_id : int; control : int; target : int }
+
+type gadget = {
+  gadget_id : int;
+  qubit : int;
+  lead_wire : int;
+  selective_wires : int list;
+  gadget_wires : int list;
+  gadget_cnots : int list;
+  dagger : bool;
+}
+
+type t = {
+  name : string;
+  num_data_qubits : int;
+  wires : wire array;
+  cnots : cnot array;
+  gadgets : gadget array;
+  tsl : int list array;
+  output_wire : int array;
+  inline_injections : int;
+  pauli_frame_updates : int;
+}
+
+type builder = {
+  mutable bwires : wire list;       (* reversed *)
+  mutable bcnots : cnot list;       (* reversed *)
+  mutable bgadgets : gadget list;   (* reversed *)
+  mutable wire_count : int;
+  mutable cnot_count : int;
+  mutable inline : int;
+  mutable pauli : int;
+  cur : int array;                  (* qubit -> current wire id *)
+  btsl : int list array;            (* reversed gadget ids per qubit *)
+}
+
+let new_wire b init data_qubit =
+  let id = b.wire_count in
+  b.wire_count <- id + 1;
+  b.bwires <- { wire_id = id; init; data_qubit } :: b.bwires;
+  id
+
+let new_cnot b ~control ~target =
+  assert (control <> target);
+  let id = b.cnot_count in
+  b.cnot_count <- id + 1;
+  b.bcnots <- { cnot_id = id; control; target } :: b.bcnots;
+  id
+
+(* T gadget: teleportation-based T with |A⟩ injection and two |Y⟩-assisted
+   selective corrections. Adds exactly 6 wires and 7 CNOTs. The leading
+   Z-basis measurement happens on the incoming data wire; the four selective
+   teleportation measurements happen on the |A⟩, the two |Y⟩ and the first
+   correction ancilla. The data continues on [w_out]. *)
+let expand_t b q ~dagger =
+  let incoming = b.cur.(q) in
+  let w_a = new_wire b Init_a None in
+  let w_y1 = new_wire b Init_y None in
+  let w_y2 = new_wire b Init_y None in
+  let w_m1 = new_wire b Init_zero None in
+  let w_m2 = new_wire b Init_zero None in
+  let w_out = new_wire b Init_plus (Some q) in
+  let c1 = new_cnot b ~control:incoming ~target:w_a in
+  let c2 = new_cnot b ~control:w_a ~target:w_m1 in
+  let c3 = new_cnot b ~control:w_y1 ~target:w_m1 in
+  let c4 = new_cnot b ~control:w_m1 ~target:w_m2 in
+  let c5 = new_cnot b ~control:w_y2 ~target:w_m2 in
+  let c6 = new_cnot b ~control:w_m2 ~target:w_out in
+  let c7 = new_cnot b ~control:incoming ~target:w_out in
+  b.cur.(q) <- w_out;
+  let gadget_id = List.length b.bgadgets in
+  let g =
+    { gadget_id;
+      qubit = q;
+      lead_wire = incoming;
+      selective_wires = [ w_a; w_y1; w_y2; w_m1 ];
+      gadget_wires = [ w_a; w_y1; w_y2; w_m1; w_m2; w_out ];
+      gadget_cnots = [ c1; c2; c3; c4; c5; c6; c7 ];
+      dagger }
+  in
+  b.bgadgets <- g :: b.bgadgets;
+  b.btsl.(q) <- gadget_id :: b.btsl.(q)
+
+let of_circuit c =
+  let open Tqec_circuit in
+  let n = c.Circuit.num_qubits in
+  let b =
+    { bwires = [];
+      bcnots = [];
+      bgadgets = [];
+      wire_count = 0;
+      cnot_count = 0;
+      inline = 0;
+      pauli = 0;
+      cur = Array.make n (-1);
+      btsl = Array.make n [] }
+  in
+  for q = 0 to n - 1 do
+    b.cur.(q) <- new_wire b Init_zero (Some q)
+  done;
+  let handle g =
+    match g with
+    | Gate.Cnot { control; target } ->
+        ignore (new_cnot b ~control:b.cur.(control) ~target:b.cur.(target))
+    | Gate.T q -> expand_t b q ~dagger:false
+    | Gate.Tdag q -> expand_t b q ~dagger:true
+    | Gate.P _ | Gate.Pdag _ | Gate.V _ | Gate.Vdag _ -> b.inline <- b.inline + 1
+    | Gate.Not _ | Gate.Z _ -> b.pauli <- b.pauli + 1
+    | Gate.H _ | Gate.Toffoli _ | Gate.Fredkin _ ->
+        invalid_arg
+          (Printf.sprintf "Icm.of_circuit: gate %s is not TQEC-supported; decompose first"
+             (Gate.to_string g))
+  in
+  List.iter handle c.Circuit.gates;
+  { name = c.Circuit.name;
+    num_data_qubits = n;
+    wires = Array.of_list (List.rev b.bwires);
+    cnots = Array.of_list (List.rev b.bcnots);
+    gadgets = Array.of_list (List.rev b.bgadgets);
+    tsl = Array.map List.rev b.btsl;
+    output_wire = Array.copy b.cur;
+    inline_injections = b.inline;
+    pauli_frame_updates = b.pauli }
+
+let num_wires t = Array.length t.wires
+let num_cnots t = Array.length t.cnots
+
+let count_a t = Array.length t.gadgets
+
+let count_y t = 2 * Array.length t.gadgets
+
+let ordering_edges t =
+  let edges = ref [] in
+  Array.iter
+    (fun gadget_ids ->
+      let rec pairs = function
+        | g1 :: (g2 :: _ as rest) ->
+            edges := (g1, g2) :: !edges;
+            pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs gadget_ids)
+    t.tsl;
+  List.rev !edges
+
+let validate t =
+  let nw = num_wires t in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_wire w = w >= 0 && w < nw in
+  let rec check_cnots i =
+    if i >= Array.length t.cnots then Ok ()
+    else begin
+      let c = t.cnots.(i) in
+      if not (check_wire c.control && check_wire c.target) then
+        err "cnot %d endpoint out of range" i
+      else if c.control = c.target then err "cnot %d is a self-loop" i
+      else check_cnots (i + 1)
+    end
+  in
+  let seen = Array.make nw false in
+  let rec check_gadgets i =
+    if i >= Array.length t.gadgets then Ok ()
+    else begin
+      let g = t.gadgets.(i) in
+      let dup = List.exists (fun w -> seen.(w)) g.gadget_wires in
+      if dup then err "gadget %d reuses a wire of another gadget" i
+      else begin
+        List.iter (fun w -> seen.(w) <- true) g.gadget_wires;
+        if List.length g.selective_wires <> 4 then
+          err "gadget %d must have 4 selective wires" i
+        else if List.length g.gadget_wires <> 6 then
+          err "gadget %d must add 6 wires" i
+        else if List.length g.gadget_cnots <> 7 then
+          err "gadget %d must add 7 cnots" i
+        else check_gadgets (i + 1)
+      end
+    end
+  in
+  let tsl_sorted =
+    Array.for_all
+      (fun ids -> List.sort Int.compare ids = ids)
+      t.tsl
+  in
+  match check_cnots 0 with
+  | Error _ as e -> e
+  | Ok () ->
+      (match check_gadgets 0 with
+       | Error _ as e -> e
+       | Ok () ->
+           if not tsl_sorted then Error "tsl lists must be in circuit (id) order"
+           else Ok ())

@@ -1,0 +1,31 @@
+(** Wire recycling analysis (Paler & Wille [17], surveyed in §I-B).
+
+    In the canonical geometric description every ICM wire occupies its own
+    row for the whole computation, but a wire only *lives* between its
+    initialization and its measurement. Recycling lets a measured wire's row
+    host a later wire, shrinking the canonical W dimension. This module
+    computes the minimal number of rows (tracks) via the classic left-edge
+    algorithm on wire lifetimes — optimal for interval graphs — and reports
+    the canonical-volume saving. The compression flow itself does not use
+    recycling (the paper's flow doesn't either); this is the §I-B
+    depth-optimization baseline made concrete. *)
+
+type t = {
+  tracks : int;          (** rows needed with recycling *)
+  wires : int;           (** rows needed without (= #wires) *)
+  assignment : int array;  (** wire id -> track *)
+  max_live : int;        (** peak number of simultaneously live wires *)
+}
+
+val analyze : Icm.t -> t
+(** Lifetimes come from each wire's first and last CNOT (data and output
+    wires live to the end). Deterministic. *)
+
+val saved_rows : t -> int
+
+val recycled_canonical_volume : Icm.t -> t -> int
+(** Canonical volume with W = tracks instead of W = #wires. *)
+
+val validate : Icm.t -> t -> (unit, string) Stdlib.result
+(** No two wires with overlapping lifetimes share a track, and the track
+    count equals the peak liveness (left-edge optimality witness). *)

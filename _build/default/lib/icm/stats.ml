@@ -1,0 +1,40 @@
+type t = {
+  name : string;
+  qubits_o : int;
+  gates_o : int;
+  qubits_d : int;
+  cnots : int;
+  n_y : int;
+  n_a : int;
+  vol_y : int;
+  vol_a : int;
+}
+
+let y_box_volume = 3 * 3 * 2
+let a_box_volume = 16 * 6 * 2
+
+let of_icm ~qubits_o ~gates_o icm =
+  let n_y = Icm.count_y icm and n_a = Icm.count_a icm in
+  { name = icm.Icm.name;
+    qubits_o;
+    gates_o;
+    qubits_d = Icm.num_wires icm;
+    cnots = Icm.num_cnots icm;
+    n_y;
+    n_a;
+    vol_y = y_box_volume * n_y;
+    vol_a = a_box_volume * n_a }
+
+let of_circuit c =
+  let open Tqec_circuit in
+  let qubits_o = c.Circuit.num_qubits and gates_o = Circuit.gate_count c in
+  let decomposed = Decompose.circuit c in
+  let icm = Icm.of_circuit decomposed in
+  of_icm ~qubits_o ~gates_o icm
+
+let distillation_volume t = t.vol_y + t.vol_a
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s: qubits %d->%d, gates %d, cnots %d, |Y> %d (vol %d), |A> %d (vol %d)"
+    t.name t.qubits_o t.qubits_d t.gates_o t.cnots t.n_y t.vol_y t.n_a t.vol_a

@@ -1,0 +1,31 @@
+(** Benchmark statistics in the shape of the paper's Table I. *)
+
+type t = {
+  name : string;
+  qubits_o : int;   (** qubits before decomposition *)
+  gates_o : int;    (** gates before decomposition *)
+  qubits_d : int;   (** ICM wires after decomposition *)
+  cnots : int;
+  n_y : int;        (** distilled \|Y⟩ ancillas *)
+  n_a : int;        (** distilled \|A⟩ ancillas *)
+  vol_y : int;      (** 18 per \|Y⟩ box (3×3×2) *)
+  vol_a : int;      (** 192 per \|A⟩ box (16×6×2) *)
+}
+
+val y_box_volume : int
+(** 18 = 3×3×2, the manually optimized \|Y⟩ distillation circuit of
+    Fowler & Devitt (Fig. 6). *)
+
+val a_box_volume : int
+(** 192 = 16×6×2, the optimized \|A⟩ distillation circuit (Fig. 7). *)
+
+val of_icm : qubits_o:int -> gates_o:int -> Icm.t -> t
+
+val of_circuit : Tqec_circuit.Circuit.t -> t
+(** Decomposes the circuit, converts to ICM, and collects statistics. *)
+
+val distillation_volume : t -> int
+(** [vol_y + vol_a], the lower-bound volume added to every method's total in
+    Tables II/III. *)
+
+val pp : Format.formatter -> t -> unit

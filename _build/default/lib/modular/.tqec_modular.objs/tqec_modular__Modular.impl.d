@@ -1,0 +1,1 @@
+lib/modular/modular.ml: Array Hashtbl Int List Printf Tqec_geom Tqec_icm

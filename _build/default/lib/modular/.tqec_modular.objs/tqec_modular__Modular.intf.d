@@ -1,0 +1,1 @@
+lib/modular/modular.mli: Tqec_geom Tqec_icm

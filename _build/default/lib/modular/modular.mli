@@ -1,0 +1,70 @@
+(** Modularization (Asai & Yamashita [26], §II-C).
+
+    The canonical TQEC circuit is decomposed into *modules* — primal loops
+    enclosing the dual segments that penetrate them — plus two-pin
+    dual-defect nets to be re-connected by routing. We derive one module per
+    ICM wire (its primal loop), one per CNOT (the braid crossing), and one
+    per distillation box (\|Y⟩ boxes 3×3×2 and \|A⟩ boxes 16×6×2 are
+    "regarded as modules and should be placed as well", §III-C). Hence
+    [#modules = #wires + #CNOTs + #\|Y⟩ + #\|A⟩], which reproduces Table I.
+
+    Every CNOT's dual loop penetrates three modules (control wire, crossing,
+    target wire) in that cyclic order, contributing one dual segment — a pin
+    pair — per penetrated module. *)
+
+type kind =
+  | Wire_module of { wire : int; init : Tqec_icm.Icm.wire_init }
+  | Cross_module of { cnot : int }
+  | Y_box of { gadget : int }
+  | A_box of { gadget : int }
+
+type pin = {
+  pin_id : int;
+  owner : int;           (** module id *)
+  offset : Tqec_geom.Point3.t;  (** position relative to the module origin *)
+  loop : int;            (** dual loop (CNOT) this pin belongs to *)
+}
+
+type module_ = {
+  module_id : int;
+  kind : kind;
+  dims : int * int * int;  (** (d, w, h): extents along time, width, height *)
+  pin_ids : int list;
+}
+
+(** A dual loop's walk through the modules it penetrates: each penetration
+    carries the two pins of its dual segment, in the loop's cyclic order. *)
+type penetration = { pmodule : int; pin_a : int; pin_b : int }
+
+type loop = { loop_id : int; penetrations : penetration list }
+
+type t = {
+  icm : Tqec_icm.Icm.t;
+  modules : module_ array;
+  pins : pin array;
+  loops : loop array;
+  wire_module : int array;   (** ICM wire id → module id *)
+  cross_module : int array;  (** CNOT id → module id *)
+}
+
+val of_icm : Tqec_icm.Icm.t -> t
+
+val num_modules : t -> int
+
+val module_volume : module_ -> int
+
+val relative_loops : t -> int -> int list
+(** Loops sharing at least one common module with the given loop (its
+    *relative loops*, §III-B), excluding itself. Deduplicated, sorted. *)
+
+val common_modules : t -> int -> int -> int list
+(** Modules penetrated by both loops. *)
+
+val is_box : module_ -> bool
+
+val dims_of_kind : t -> kind -> int * int * int
+
+val validate : t -> (unit, string) result
+(** Invariants: every loop penetrates ≥ 1 module; pins consistent with
+    owners; pin offsets inside module bounds; module counts match the
+    Table-I identity. *)

@@ -1,0 +1,1 @@
+lib/place/bstar.ml: Array Printf Stack Stdlib Tqec_prelude

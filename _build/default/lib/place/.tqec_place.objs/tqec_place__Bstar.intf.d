@@ -1,0 +1,1 @@
+lib/place/bstar.mli: Stdlib Tqec_prelude

@@ -1,0 +1,1 @@
+lib/place/cluster.ml: Array Int List Printf Stdlib Tqec_geom Tqec_icm Tqec_modular

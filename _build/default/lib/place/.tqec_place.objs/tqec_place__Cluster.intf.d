@@ -1,0 +1,1 @@
+lib/place/cluster.mli: Stdlib Tqec_geom Tqec_modular

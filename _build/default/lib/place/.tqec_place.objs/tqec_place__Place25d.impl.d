@@ -1,0 +1,1 @@
+lib/place/place25d.ml: Array Bstar Cluster Int List Printf Sa Stdlib Tqec_bridge Tqec_geom Tqec_modular Tqec_prelude Tqec_rtree

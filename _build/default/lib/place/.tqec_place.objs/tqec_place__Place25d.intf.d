@@ -1,0 +1,1 @@
+lib/place/place25d.mli: Cluster Sa Stdlib Tqec_bridge Tqec_geom

@@ -1,0 +1,1 @@
+lib/place/refine.ml: Array Cluster List Place25d Tqec_bridge Tqec_geom Tqec_modular

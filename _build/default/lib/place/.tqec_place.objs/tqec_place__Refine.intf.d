@@ -1,0 +1,1 @@
+lib/place/refine.mli: Place25d Tqec_bridge

@@ -1,0 +1,1 @@
+lib/place/sa.ml: Tqec_prelude

@@ -1,0 +1,1 @@
+lib/place/sa.mli: Tqec_prelude

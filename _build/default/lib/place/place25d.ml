@@ -1,0 +1,317 @@
+module Point3 = Tqec_geom.Point3
+module Cuboid = Tqec_geom.Cuboid
+module Rng = Tqec_prelude.Rng
+module Modular = Tqec_modular.Modular
+module Bridge = Tqec_bridge.Bridge
+
+type config = {
+  tiers : int option;
+  sa : Sa.params;
+  spacing : int;
+  z_gap : int;
+  alpha : float;
+  beta : float;
+  gamma : float;
+  aspect_target : float;
+  seed : int;
+}
+
+let default_config =
+  { tiers = None;
+    sa = Sa.default_params;
+    spacing = 1;
+    z_gap = 2;
+    alpha = 0.5;
+    beta = 0.5;
+    gamma = 0.25;
+    aspect_target = 1.5;
+    seed = 42 }
+
+type placement = {
+  cluster : Cluster.t;
+  module_pos : Point3.t array;
+  cluster_pos : Point3.t array;
+  tier_of_cluster : int array;
+  dims : int * int * int;
+  volume : int;
+  wirelength : int;
+  sa_accepted : int;
+  sa_improved : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* SA state: one B*-tree per tier plus the cluster<->slot bijection.   *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  trees : Bstar.t array;
+  slot_cluster : int array array;   (* tier -> block idx -> cluster id *)
+  cluster_slot : (int * int) array; (* cluster id -> (tier, block idx) *)
+}
+
+(* Copy-on-write: trees are shared between states and cloned lazily by
+   [own_tree] just before mutation, so a perturbation pays for the one or two
+   tiers it touches instead of the whole floorplan. *)
+let copy_state s =
+  { trees = Array.copy s.trees;
+    slot_cluster = Array.map Array.copy s.slot_cluster;
+    cluster_slot = Array.copy s.cluster_slot }
+
+let own_tree s t =
+  s.trees.(t) <- Bstar.copy s.trees.(t);
+  s.trees.(t)
+
+let cluster_dxdy (c : Cluster.cluster) =
+  let d, w, _ = c.Cluster.cdims in
+  (d, w)
+
+(* Greedy area balancing: biggest clusters first, each into the currently
+   lightest tier. *)
+let initial_state cl ~ntiers =
+  let n = Cluster.num_clusters cl in
+  let order = Array.init n (fun i -> i) in
+  let area i = Cluster.cluster_volume cl.Cluster.clusters.(i) in
+  Array.sort (fun a b -> Int.compare (area b) (area a)) order;
+  let tier_area = Array.make ntiers 0 in
+  let tier_members = Array.make ntiers [] in
+  Array.iter
+    (fun c ->
+      let best = ref 0 in
+      for t = 1 to ntiers - 1 do
+        if tier_area.(t) < tier_area.(!best) then best := t
+      done;
+      tier_area.(!best) <- tier_area.(!best) + area c;
+      tier_members.(!best) <- c :: tier_members.(!best))
+    order;
+  let cluster_slot = Array.make n (-1, -1) in
+  let trees =
+    Array.mapi
+      (fun t members ->
+        let members = Array.of_list (List.rev members) in
+        (* A tier must have at least one block for the B*-tree; steal from a
+           neighbour is avoided by choosing ntiers <= n upstream. *)
+        let dims = Array.map (fun c -> cluster_dxdy cl.Cluster.clusters.(c)) members in
+        Array.iteri (fun idx c -> cluster_slot.(c) <- (t, idx)) members;
+        (members, Bstar.create dims))
+      tier_members
+  in
+  { trees = Array.map snd trees;
+    slot_cluster = Array.map fst trees;
+    cluster_slot }
+
+let pack_all s ~spacing = Array.map (fun tree -> Bstar.pack ~spacing tree) s.trees
+
+(* Tier heights are uniform (every module is 2 units tall), so tier [t]
+   starts at z = t * (2 + z_gap). The vertical gap is a routing plane and may
+   be narrower than the in-plane spacing: pins sit on width faces, so no pin
+   mouth ever opens into the z gap. *)
+let tier_z ~z_gap t = t * (2 + z_gap)
+
+let cluster_positions cl s packs ~z_gap =
+  let pos = Array.make (Cluster.num_clusters cl) Point3.zero in
+  Array.iteri
+    (fun c (t, idx) ->
+      let p : Bstar.packing = packs.(t) in
+      pos.(c) <- Point3.make p.Bstar.xs.(idx) p.Bstar.ys.(idx) (tier_z ~z_gap t))
+    s.cluster_slot;
+  pos
+
+(* Reallocate each TSL's (equal-sized) super-modules onto the x-sorted slot
+   positions so measurement ordering holds after any perturbation. *)
+let enforce_tsl cl s packs =
+  Array.iter
+    (fun tsl_clusters ->
+      match tsl_clusters with
+      | [] | [ _ ] -> ()
+      | ids ->
+          let slots = List.map (fun c -> s.cluster_slot.(c)) ids in
+          let keyed =
+            List.map
+              (fun ((t, idx) as slot) ->
+                let p : Bstar.packing = packs.(t) in
+                ((p.Bstar.xs.(idx), t, p.Bstar.ys.(idx)), slot))
+              slots
+          in
+          let sorted = List.sort compare keyed |> List.map snd in
+          List.iter2
+            (fun c ((t, idx) as slot) ->
+              s.cluster_slot.(c) <- slot;
+              s.slot_cluster.(t).(idx) <- c)
+            ids sorted)
+    cl.Cluster.tsl
+
+let perturb cl ~spacing rng s =
+  let ntiers = Array.length s.trees in
+  let random_tier () = Rng.int rng ntiers in
+  let op = Rng.int rng 3 in
+  (match op with
+   | 0 ->
+       (* Intra-tier swap: the two clusters trade tree nodes, i.e. places in
+          the tier's floorplan; the slot->cluster map is untouched because
+          blocks are identified with tier-local slot indices. *)
+       let t = random_tier () in
+       if Bstar.num_blocks s.trees.(t) >= 2 then begin
+         let tree = own_tree s t in
+         let b1 = Bstar.random_block rng tree and b2 = Bstar.random_block rng tree in
+         if b1 <> b2 then Bstar.swap_blocks tree b1 b2
+       end
+   | 1 ->
+       (* intra-tier move *)
+       let t = random_tier () in
+       if Bstar.num_blocks s.trees.(t) >= 2 then begin
+         let tree = own_tree s t in
+         Bstar.move_block ~rng tree (Bstar.random_block rng tree)
+       end
+   | _ ->
+       (* inter-tier swap: exchange the clusters of two slots. *)
+       let t1 = random_tier () and t2 = random_tier () in
+       if t1 <> t2 then begin
+         let tree1 = own_tree s t1 and tree2 = own_tree s t2 in
+         let i1 = Bstar.random_block rng tree1 in
+         let i2 = Bstar.random_block rng tree2 in
+         let c1 = s.slot_cluster.(t1).(i1) and c2 = s.slot_cluster.(t2).(i2) in
+         s.slot_cluster.(t1).(i1) <- c2;
+         s.slot_cluster.(t2).(i2) <- c1;
+         s.cluster_slot.(c1) <- (t2, i2);
+         s.cluster_slot.(c2) <- (t1, i1);
+         Bstar.set_block_dims tree1 i1 (cluster_dxdy cl.Cluster.clusters.(c2));
+         Bstar.set_block_dims tree2 i2 (cluster_dxdy cl.Cluster.clusters.(c1))
+       end);
+  enforce_tsl cl s (pack_all s ~spacing);
+  s
+
+let overall_dims packs ~z_gap =
+  let d = Array.fold_left (fun acc (p : Bstar.packing) -> max acc p.Bstar.span_x) 0 packs in
+  let w = Array.fold_left (fun acc (p : Bstar.packing) -> max acc p.Bstar.span_y) 0 packs in
+  let ntiers = Array.length packs in
+  let h = (ntiers * (2 + z_gap)) - z_gap in
+  (d, w, h)
+
+let pin_abs cl cluster_pos pin =
+  let m = pin.Modular.owner in
+  let c = cl.Cluster.module_cluster.(m) in
+  Point3.add cluster_pos.(c) (Point3.add cl.Cluster.module_offset.(m) pin.Modular.offset)
+
+let wirelength_of cl cluster_pos nets =
+  let pins = cl.Cluster.modular.Modular.pins in
+  List.fold_left
+    (fun acc n ->
+      let a = pin_abs cl cluster_pos pins.(n.Bridge.pin_a) in
+      let b = pin_abs cl cluster_pos pins.(n.Bridge.pin_b) in
+      acc + Point3.manhattan a b)
+    0 nets
+
+(* Tier count heuristic: balance the stack height against the tier
+   footprint so the result is roughly as tall as a tier plane is deep. *)
+let default_tier_count cl ~spacing ~z_gap =
+  let area =
+    Array.fold_left
+      (fun acc c ->
+        let d, w, _ = c.Cluster.cdims in
+        acc + ((d + spacing) * (w + spacing)))
+      0 cl.Cluster.clusters
+  in
+  let max_d =
+    Array.fold_left (fun acc c -> let d, _, _ = c.Cluster.cdims in max acc d) 1
+      cl.Cluster.clusters
+  in
+  let pitch = float_of_int (2 + z_gap) in
+  let n = Cluster.num_clusters cl in
+  let guess = int_of_float (sqrt (float_of_int area /. (pitch *. float_of_int max_d))) in
+  max 1 (min n (max guess 1))
+
+let place config cl nets =
+  Cluster.equalize_tsl cl;
+  let ntiers =
+    match config.tiers with
+    | Some t -> max 1 (min t (Cluster.num_clusters cl))
+    | None -> default_tier_count cl ~spacing:config.spacing ~z_gap:config.z_gap
+  in
+  let rng = Rng.create config.seed in
+  let spacing = config.spacing and z_gap = config.z_gap in
+  let init = initial_state cl ~ntiers in
+  enforce_tsl cl init (pack_all init ~spacing);
+  (* Normalization constants from the initial solution. *)
+  let packs0 = pack_all init ~spacing in
+  let d0, w0, h0 = overall_dims packs0 ~z_gap in
+  let v_norm = float_of_int (max 1 (d0 * w0 * h0)) in
+  let l_norm =
+    float_of_int
+      (max 1 (wirelength_of cl (cluster_positions cl init packs0 ~z_gap) nets))
+  in
+  let cost s =
+    let packs = pack_all s ~spacing in
+    let d, w, h = overall_dims packs ~z_gap in
+    let v = float_of_int (d * w * h) in
+    let l = float_of_int (wirelength_of cl (cluster_positions cl s packs ~z_gap) nets) in
+    (* Tier-plane aspect: keeping width and depth comparable avoids the
+       degenerate snake floorplans that pack well but route terribly. *)
+    let r = float_of_int w /. float_of_int (max 1 d) in
+    (config.alpha *. v /. v_norm)
+    +. (config.beta *. l /. l_norm)
+    +. (config.gamma *. ((r -. config.aspect_target) ** 2.0))
+  in
+  let stats =
+    Sa.run ~rng ~init ~copy:copy_state ~cost
+      ~perturb:(fun rng s -> perturb cl ~spacing rng s)
+      config.sa
+  in
+  let final = stats.Sa.best in
+  let packs = pack_all final ~spacing in
+  let cluster_pos = cluster_positions cl final packs ~z_gap in
+  let module_pos =
+    Array.mapi
+      (fun m off -> Point3.add cluster_pos.(cl.Cluster.module_cluster.(m)) off)
+      cl.Cluster.module_offset
+  in
+  let d, w, h = overall_dims packs ~z_gap in
+  let tier_of_cluster = Array.map fst final.cluster_slot in
+  { cluster = cl;
+    module_pos;
+    cluster_pos;
+    tier_of_cluster;
+    dims = (d, w, h);
+    volume = d * w * h;
+    wirelength = wirelength_of cl cluster_pos nets;
+    sa_accepted = stats.Sa.accepted;
+    sa_improved = stats.Sa.improved }
+
+let pin_position p pin_id =
+  let pin = p.cluster.Cluster.modular.Modular.pins.(pin_id) in
+  pin_abs p.cluster p.cluster_pos pin
+
+let module_box p m =
+  let d, w, h = p.cluster.Cluster.modular.Modular.modules.(m).Modular.dims in
+  Cuboid.of_origin_size p.module_pos.(m) ~w ~h ~d
+
+let check_time_ordering p =
+  let err fmt = Printf.ksprintf (fun s : (unit, string) Stdlib.result -> Error s) fmt in
+  let bad = ref None in
+  Array.iteri
+    (fun qubit ids ->
+      let rec walk = function
+        | c1 :: (c2 :: _ as rest) ->
+            let x1 = p.cluster_pos.(c1).Point3.x and x2 = p.cluster_pos.(c2).Point3.x in
+            if x1 > x2 then bad := Some (qubit, c1, c2)
+            else walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk ids)
+    p.cluster.Cluster.tsl;
+  match !bad with
+  | Some (q, c1, c2) -> err "TSL of qubit %d out of order (clusters %d, %d)" q c1 c2
+  | None -> Ok ()
+
+let check_no_overlap p =
+  let n = Modular.num_modules p.cluster.Cluster.modular in
+  let boxes = Array.init n (module_box p) in
+  let index = Tqec_rtree.Rtree.create () in
+  let bad = ref None in
+  Array.iteri
+    (fun m box ->
+      if !bad = None && Tqec_rtree.Rtree.any_overlap index box then bad := Some m
+      else Tqec_rtree.Rtree.insert index box m)
+    boxes;
+  match !bad with
+  | Some m -> Error (Printf.sprintf "module %d overlaps another module" m)
+  | None -> Ok ()

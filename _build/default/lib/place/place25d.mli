@@ -1,0 +1,58 @@
+(** Time-ordering-aware 2.5D placement (§III-C2).
+
+    Clusters (super-modules) are distributed over a small number of tiers;
+    each tier is a 2D plane (x = time, y = width) floorplanned by its own
+    B*-tree, and tiers stack along z. A simulated-annealing engine explores
+    intra-tier node swaps and moves plus inter-tier swaps, under the cost
+
+      Phi = alpha·V/V_norm + beta·L/L_norm + gamma·(R − R_target)^2
+
+    with alpha = beta = 0.5, gamma = 0.25 and a 1:2 target aspect ratio, as
+    in the paper. After every
+    perturbation the time-dependent super-modules of each TSL are reallocated
+    to the x-sorted positions so T-gate measurement ordering always holds
+    (the clusters of a TSL are equalized in size first, making reallocation
+    position-neutral). *)
+
+type config = {
+  tiers : int option;      (** [None]: ⌈∛(total volume)⌉-driven heuristic *)
+  sa : Sa.params;
+  spacing : int;           (** in-plane module spacing (separation + routing
+                               lanes), default 1 *)
+  z_gap : int;             (** free inter-tier routing layers, default 2 *)
+  alpha : float;
+  beta : float;
+  gamma : float;
+  aspect_target : float;   (** target tier-plane aspect ratio, width over depth *)
+  seed : int;
+}
+
+val default_config : config
+
+type placement = {
+  cluster : Cluster.t;
+  module_pos : Tqec_geom.Point3.t array;  (** absolute origin per module *)
+  cluster_pos : Tqec_geom.Point3.t array;
+  tier_of_cluster : int array;
+  dims : int * int * int;   (** (d, w, h) of the placed circuit *)
+  volume : int;
+  wirelength : int;         (** Manhattan wirelength over the given nets *)
+  sa_accepted : int;
+  sa_improved : int;
+}
+
+val place : config -> Cluster.t -> Tqec_bridge.Bridge.net list -> placement
+(** Anneal the 2.5D floorplan for the given clusters, estimating wirelength
+    over [nets]. Deterministic for a fixed [config.seed]. *)
+
+val pin_position : placement -> int -> Tqec_geom.Point3.t
+(** Absolute position of a pin after placement. *)
+
+val module_box : placement -> int -> Tqec_geom.Cuboid.t
+
+val check_time_ordering : placement -> (unit, string) Stdlib.result
+(** Verify the inter-gadget constraint: along every TSL the super-modules
+    appear in strictly increasing time order. *)
+
+val check_no_overlap : placement -> (unit, string) Stdlib.result
+(** No two modules overlap anywhere in the placed 3D volume. *)

@@ -1,0 +1,151 @@
+module Point3 = Tqec_geom.Point3
+module Cuboid = Tqec_geom.Cuboid
+module Bridge = Tqec_bridge.Bridge
+module Modular = Tqec_modular.Modular
+
+type stats = {
+  sweeps : int;
+  moves : int;
+  wirelength_before : int;
+  wirelength_after : int;
+}
+
+(* Cluster bounding box at a hypothetical origin. *)
+let cluster_box cl cluster_pos c origin =
+  ignore cluster_pos;
+  let d, w, h = cl.Cluster.clusters.(c).Cluster.cdims in
+  Cuboid.of_origin_size origin ~w ~h ~d
+
+let pin_abs cl cluster_pos pin =
+  let m = pin.Modular.owner in
+  let c = cl.Cluster.module_cluster.(m) in
+  Point3.add cluster_pos.(c) (Point3.add cl.Cluster.module_offset.(m) pin.Modular.offset)
+
+let wirelength cl cluster_pos nets =
+  let pins = cl.Cluster.modular.Modular.pins in
+  List.fold_left
+    (fun acc n ->
+      let a = pin_abs cl cluster_pos pins.(n.Bridge.pin_a) in
+      let b = pin_abs cl cluster_pos pins.(n.Bridge.pin_b) in
+      acc + Point3.manhattan a b)
+    0 nets
+
+let refine ?(max_sweeps = 10) (placement : Place25d.placement) nets =
+  let cl = placement.Place25d.cluster in
+  let n = Cluster.num_clusters cl in
+  let cluster_pos = Array.copy placement.Place25d.cluster_pos in
+  let wl0 = wirelength cl cluster_pos nets in
+  (* Incident nets per cluster, with the foreign pin cached. *)
+  let pins = cl.Cluster.modular.Modular.pins in
+  let incident = Array.make n [] in
+  List.iter
+    (fun net ->
+      let ca = cl.Cluster.module_cluster.(pins.(net.Bridge.pin_a).Modular.owner) in
+      let cb = cl.Cluster.module_cluster.(pins.(net.Bridge.pin_b).Modular.owner) in
+      if ca <> cb then begin
+        incident.(ca) <- net :: incident.(ca);
+        incident.(cb) <- net :: incident.(cb)
+      end)
+    nets;
+  (* Hard envelope: never grow the placed box. *)
+  let pd, pw, ph = placement.Place25d.dims in
+  let envelope = Cuboid.of_origin_size Point3.zero ~w:pw ~h:ph ~d:pd in
+  let overlaps_other c box =
+    let rec scan i =
+      if i >= n then false
+      else if i <> c
+              && Cuboid.overlaps box
+                   (cluster_box cl cluster_pos i cluster_pos.(i))
+      then true
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  (* TSL constraint: x-origins along each list stay non-decreasing. *)
+  let tsl_ok c new_x =
+    Array.for_all
+      (fun ids ->
+        if not (List.mem c ids) then true
+        else begin
+          let xs =
+            List.map (fun id -> if id = c then new_x else cluster_pos.(id).Point3.x) ids
+          in
+          let rec mono = function
+            | a :: (b :: _ as rest) -> a <= b && mono rest
+            | [ _ ] | [] -> true
+          in
+          mono xs
+        end)
+      cl.Cluster.tsl
+  in
+  let net_gain c delta =
+    (* Wirelength change if cluster c moves by delta. *)
+    let moved = Point3.add cluster_pos.(c) delta in
+    List.fold_left
+      (fun acc net ->
+        let pa = pins.(net.Bridge.pin_a) and pb = pins.(net.Bridge.pin_b) in
+        let ca = cl.Cluster.module_cluster.(pa.Modular.owner) in
+        let at pin base =
+          Point3.add base
+            (Point3.add cl.Cluster.module_offset.(pin.Modular.owner) pin.Modular.offset)
+        in
+        let a0 = at pa cluster_pos.(ca)
+        and b0 =
+          at pb cluster_pos.(cl.Cluster.module_cluster.(pb.Modular.owner))
+        in
+        let a1 = if ca = c then at pa moved else a0 in
+        let b1 =
+          if cl.Cluster.module_cluster.(pb.Modular.owner) = c then at pb moved else b0
+        in
+        acc + Point3.manhattan a1 b1 - Point3.manhattan a0 b0)
+      0 incident.(c)
+  in
+  let directions =
+    [ Point3.make 1 0 0; Point3.make (-1) 0 0; Point3.make 0 1 0; Point3.make 0 (-1) 0 ]
+  in
+  let moves = ref 0 and sweeps = ref 0 in
+  let progressed = ref true in
+  while !progressed && !sweeps < max_sweeps do
+    incr sweeps;
+    progressed := false;
+    for c = 0 to n - 1 do
+      if incident.(c) <> [] then begin
+        (* Greedy: take the best strictly-improving legal step. *)
+        let best = ref None in
+        List.iter
+          (fun delta ->
+            let gain = net_gain c delta in
+            let better = match !best with None -> gain < 0 | Some (g, _) -> gain < g in
+            if better then begin
+              let origin = Point3.add cluster_pos.(c) delta in
+              let box = cluster_box cl cluster_pos c origin in
+              if
+                Cuboid.contains envelope box
+                && (not (overlaps_other c (Cuboid.inflate box 1)))
+                && tsl_ok c origin.Point3.x
+              then best := Some (gain, delta)
+            end)
+          directions;
+        match !best with
+        | Some (_, delta) ->
+            cluster_pos.(c) <- Point3.add cluster_pos.(c) delta;
+            incr moves;
+            progressed := true
+        | None -> ()
+      end
+    done
+  done;
+  let module_pos =
+    Array.mapi
+      (fun m off -> Point3.add cluster_pos.(cl.Cluster.module_cluster.(m)) off)
+      cl.Cluster.module_offset
+  in
+  let refined =
+    { placement with Place25d.cluster_pos; module_pos;
+      wirelength = wirelength cl cluster_pos nets }
+  in
+  ( refined,
+    { sweeps = !sweeps;
+      moves = !moves;
+      wirelength_before = wl0;
+      wirelength_after = refined.Place25d.wirelength } )

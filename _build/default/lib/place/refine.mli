@@ -1,0 +1,26 @@
+(** Force-directed placement refinement (Paetznick & Fowler [21], §I-C).
+
+    The paper's related work compacts TQEC circuits by greedily pushing and
+    pulling defect segments without breaking braiding relationships. This
+    module applies the same idea at module granularity, as an optional pass
+    after annealing: every cluster feels a net force toward the centroid of
+    the far endpoints of its incident nets, and moves one lattice step at a
+    time along the dominant axis when the move keeps the layout legal (no
+    module overlap, TSL ordering intact, inside the original bounding box).
+    Wirelength decreases monotonically; volume never grows. *)
+
+type stats = {
+  sweeps : int;
+  moves : int;             (** accepted single-step moves *)
+  wirelength_before : int;
+  wirelength_after : int;
+}
+
+val refine :
+  ?max_sweeps:int ->
+  Place25d.placement ->
+  Tqec_bridge.Bridge.net list ->
+  Place25d.placement * stats
+(** [max_sweeps] defaults to 10; a sweep visits every cluster once and the
+    pass stops early when a sweep accepts no move. The returned placement
+    shares the cluster structure with the input (positions differ). *)

@@ -1,0 +1,54 @@
+module Rng = Tqec_prelude.Rng
+
+type params = {
+  iterations : int;
+  start_temp : float;
+  end_temp : float;
+  restore_best : bool;
+}
+
+let default_params =
+  { iterations = 2000; start_temp = 1.0; end_temp = 0.001; restore_best = true }
+
+type 'a stats = {
+  best : 'a;
+  best_cost : float;
+  accepted : int;
+  rejected : int;
+  improved : int;
+}
+
+let run ~rng ~init ~copy ~cost ~perturb params =
+  let current = ref init in
+  let current_cost = ref (cost init) in
+  let best = ref (copy init) in
+  let best_cost = ref !current_cost in
+  let accepted = ref 0 and rejected = ref 0 and improved = ref 0 in
+  let n = max 1 params.iterations in
+  (* Geometric cooling: T_i = T0 * (T1/T0)^(i/n). *)
+  let ratio = params.end_temp /. params.start_temp in
+  for i = 0 to n - 1 do
+    let temp = params.start_temp *. (ratio ** (float_of_int i /. float_of_int n)) in
+    let candidate = perturb rng (copy !current) in
+    let c = cost candidate in
+    let delta = c -. !current_cost in
+    let accept =
+      if delta <= 0.0 then true
+      else Rng.float rng 1.0 < exp (-.delta /. temp)
+    in
+    if accept then begin
+      incr accepted;
+      if delta < 0.0 then incr improved;
+      current := candidate;
+      current_cost := c;
+      if c < !best_cost then begin
+        best := copy candidate;
+        best_cost := c
+      end
+    end
+    else incr rejected
+  done;
+  let final = if params.restore_best then !best else !current in
+  let final_cost = if params.restore_best then !best_cost else !current_cost in
+  { best = final; best_cost = final_cost; accepted = !accepted; rejected = !rejected;
+    improved = !improved }

@@ -1,0 +1,34 @@
+(** Generic simulated-annealing engine.
+
+    Drives the 2.5D placement (§III-C2): a better neighbouring solution is
+    always accepted, a worse one with probability exp(-Δ/T), and the
+    temperature decays geometrically. The engine is solution-representation
+    agnostic: the caller supplies copy / cost / perturb. *)
+
+type params = {
+  iterations : int;       (** total perturbation attempts *)
+  start_temp : float;
+  end_temp : float;
+  restore_best : bool;    (** return the best-seen solution, not the last *)
+}
+
+val default_params : params
+
+type 'a stats = {
+  best : 'a;
+  best_cost : float;
+  accepted : int;
+  rejected : int;
+  improved : int;         (** accepted moves that lowered the cost *)
+}
+
+val run :
+  rng:Tqec_prelude.Rng.t ->
+  init:'a ->
+  copy:('a -> 'a) ->
+  cost:('a -> float) ->
+  perturb:(Tqec_prelude.Rng.t -> 'a -> 'a) ->
+  params ->
+  'a stats
+(** [perturb] returns a new (or modified-copy) solution; the engine never
+    mutates a solution it has handed out. Deterministic given the RNG. *)

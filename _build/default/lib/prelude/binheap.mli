@@ -1,0 +1,26 @@
+(** Binary max-heap keyed by integers.
+
+    Used as the max-priority queue of the iterative bridging algorithm
+    (Algorithm 1 of the paper), where loops are prioritized by their number
+    of common modules with the current bridge structure. Key updates are
+    handled by re-pushing with the new key; stale entries are the caller's
+    concern (lazy deletion). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> key:int -> 'a -> unit
+(** Insert a value with the given priority. O(log n). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the entry with the largest key, or [None] when empty.
+    Ties are broken arbitrarily but deterministically. O(log n). *)
+
+val peek : 'a t -> (int * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,11 @@
+(** Wall-clock timing for the runtime-breakdown experiments (Table VI). *)
+
+type t
+
+val start : unit -> t
+
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)

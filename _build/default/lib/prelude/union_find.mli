@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used to check loop reconstructability (chains must connect into a single
+    cycle) and to group primal modules into primal-group super-modules. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [false] when they were already merged. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets remaining. *)

@@ -1,0 +1,1 @@
+lib/report/ascii_layout.ml: Array Buffer Int List Printf String Tqec_core Tqec_geom Tqec_modular Tqec_place Tqec_route

@@ -1,0 +1,1 @@
+lib/report/effort.ml: Sys Tqec_core

@@ -1,0 +1,1 @@
+lib/report/effort.mli: Tqec_core

@@ -1,0 +1,1 @@
+lib/report/geometry_export.ml: Array Buffer Char List Printf String Tqec_bridge Tqec_core Tqec_geom Tqec_modular Tqec_place Tqec_route

@@ -1,0 +1,1 @@
+lib/report/geometry_export.mli: Tqec_core

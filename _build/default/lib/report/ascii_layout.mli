@@ -1,0 +1,11 @@
+(** ASCII rendering of a compressed layout (the Fig. 20 visualization).
+
+    Renders z-slices of the placed-and-routed circuit: module bodies print
+    as ['#'] (wires), ['X'] (crossings), ['Y']/['A'] (distillation boxes),
+    routed dual-defect nets as ['*'], and free space as ['.']. *)
+
+val render_slice : Tqec_core.Flow.t -> z:int -> string
+
+val render : ?max_slices:int -> Tqec_core.Flow.t -> string
+(** All z-slices bottom-up (capped at [max_slices], default 4, choosing
+    evenly spaced slices when there are more). *)

@@ -1,0 +1,68 @@
+module Point3 = Tqec_geom.Point3
+module Modular = Tqec_modular.Modular
+module Flow = Tqec_core.Flow
+module Place25d = Tqec_place.Place25d
+module Router = Tqec_route.Router
+
+let kind_string = function
+  | Modular.Wire_module _ -> "wire"
+  | Modular.Cross_module _ -> "cross"
+  | Modular.Y_box _ -> "ybox"
+  | Modular.A_box _ -> "abox"
+
+let point_json { Point3.x; y; z } = Printf.sprintf "[%d,%d,%d]" x y z
+
+(* Hand-rolled emission: every value we write is an integer, a fixed keyword
+   or an already-escaped name, so a JSON library would be overkill. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json flow =
+  let buf = Buffer.create 4096 in
+  let w, h, d = flow.Flow.dims in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"name\": \"%s\",\n  \"dims\": {\"w\": %d, \"h\": %d, \"d\": %d},\n  \"volume\": %d,\n"
+       (escape flow.Flow.name) w h d flow.Flow.volume);
+  Buffer.add_string buf "  \"modules\": [\n";
+  let modules = flow.Flow.modular.Modular.modules in
+  Array.iteri
+    (fun i (md : Modular.module_) ->
+      let origin = flow.Flow.placement.Place25d.module_pos.(md.Modular.module_id) in
+      let dd, dw, dh = md.Modular.dims in
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"id\": %d, \"kind\": \"%s\", \"origin\": %s, \"size\": [%d,%d,%d]}%s\n"
+           md.Modular.module_id (kind_string md.Modular.kind) (point_json origin) dd dw
+           dh
+           (if i = Array.length modules - 1 then "" else ",")))
+    modules;
+  Buffer.add_string buf "  ],\n  \"nets\": [\n";
+  let routed = flow.Flow.routing.Router.routed in
+  let n_routed = List.length routed in
+  List.iteri
+    (fun i rn ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"id\": %d, \"loop\": %d, \"path\": [%s]}%s\n"
+           rn.Router.net.Tqec_bridge.Bridge.net_id rn.Router.net.Tqec_bridge.Bridge.loop
+           (String.concat "," (List.map point_json rn.Router.path))
+           (if i = n_routed - 1 then "" else ",")))
+    routed;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_file path flow =
+  let oc = open_out path in
+  (try output_string oc (to_json flow)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

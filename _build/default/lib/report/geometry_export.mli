@@ -1,0 +1,19 @@
+(** JSON export of a compressed layout.
+
+    Serializes the placed modules (kind, origin, dims), the distillation
+    boxes, the routed dual-defect nets (cell paths) and the bounding
+    dimensions into a self-describing JSON document, so external viewers
+    (e.g. a voxel renderer) can display the 3D geometric description the
+    way the paper's Fig. 20 does. The format is stable and documented here:
+
+    {v
+    { "name": ..., "dims": {"w":_, "h":_, "d":_}, "volume": _,
+      "modules": [ {"id":_, "kind":"wire|cross|ybox|abox",
+                    "origin":[x,y,z], "size":[d,w,h]} ],
+      "nets":    [ {"id":_, "loop":_, "path":[[x,y,z], ...]} ] }
+    v} *)
+
+val to_json : Tqec_core.Flow.t -> string
+(** Pretty-printed JSON. *)
+
+val write_file : string -> Tqec_core.Flow.t -> unit

@@ -1,0 +1,22 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Prints the same rows the paper's tables report, aligned for terminals
+    and diff-friendly capture into EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out the table with column auto-sizing.
+    [align] defaults to [Left] for the first column and [Right] for the
+    rest. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+
+val fmt_int : int -> string
+(** Thousands-separated integer. *)
+
+val fmt_ratio : float -> string
+(** Three-decimal ratio, as in the paper's tables. *)
+
+val fmt_time : float -> string
+(** Seconds with one decimal. *)

@@ -1,0 +1,1 @@
+lib/route/deform.ml: Array List Map Router Tqec_geom Tqec_modular Tqec_place

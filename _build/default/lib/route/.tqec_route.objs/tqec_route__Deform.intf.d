@@ -1,0 +1,1 @@
+lib/route/deform.mli: Router Tqec_place

@@ -1,0 +1,1 @@
+lib/route/grid.ml: Bytes Tqec_geom

@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Grid Hashtbl Int List Option Printf Set Stdlib Sys Tqec_bridge Tqec_geom Tqec_modular Tqec_place Tqec_prelude

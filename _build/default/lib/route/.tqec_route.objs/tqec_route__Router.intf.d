@@ -1,0 +1,1 @@
+lib/route/router.mli: Stdlib Tqec_bridge Tqec_geom Tqec_place

@@ -1,0 +1,103 @@
+module Point3 = Tqec_geom.Point3
+module Cuboid = Tqec_geom.Cuboid
+module Modular = Tqec_modular.Modular
+module Place25d = Tqec_place.Place25d
+
+type stats = {
+  nets_shortened : int;
+  cells_removed : int;
+  volume_before : int;
+  volume_after : int;
+}
+
+module Pmap = Map.Make (Point3)
+
+(* Splice a single path to its shortcut fixpoint: scan for the FIRST pair
+   (i, j), j > i+1, with manhattan(path_i, path_j) = 1 and no protected cell
+   strictly between them; cut the detour and restart. Quadratic per pass in
+   the path length, which is fine — paths are short and detours rare. *)
+let shorten_path ~protected path =
+  let arr = ref (Array.of_list path) in
+  let removed = ref 0 in
+  let rec pass () =
+    let a = !arr in
+    let n = Array.length a in
+    let cut = ref None in
+    (try
+       for i = 0 to n - 3 do
+         for j = n - 1 downto i + 2 do
+           if !cut = None && Point3.manhattan a.(i) a.(j) = 1 then begin
+             let protected_between = ref false in
+             for k = i + 1 to j - 1 do
+               if Pmap.mem a.(k) protected then protected_between := true
+             done;
+             if not !protected_between then begin
+               cut := Some (i, j);
+               raise Exit
+             end
+           end
+         done
+       done
+     with Exit -> ());
+    match !cut with
+    | None -> ()
+    | Some (i, j) ->
+        removed := !removed + (j - i - 1);
+        let next = Array.append (Array.sub a 0 (i + 1)) (Array.sub a j (n - j)) in
+        arr := next;
+        pass ()
+  in
+  pass ();
+  (Array.to_list !arr, !removed)
+
+let shorten placement result =
+  (* Protect every path endpoint: a friend terminal of another net may rest
+     on any cell of this path, and terminals are always endpoints. *)
+  let protected =
+    List.fold_left
+      (fun acc rn ->
+        match rn.Router.path with
+        | [] -> acc
+        | first :: _ ->
+            let last = List.nth rn.Router.path (List.length rn.Router.path - 1) in
+            Pmap.add first () (Pmap.add last () acc))
+      Pmap.empty result.Router.routed
+  in
+  let shortened = ref 0 and removed_total = ref 0 in
+  let routed =
+    List.map
+      (fun rn ->
+        let path, removed = shorten_path ~protected rn.Router.path in
+        if removed > 0 then begin
+          incr shortened;
+          removed_total := !removed_total + removed
+        end;
+        { rn with Router.path })
+      result.Router.routed
+  in
+  (* Recompute the bounding box over modules and the shortened paths. *)
+  let modular = placement.Place25d.cluster.Tqec_place.Cluster.modular in
+  let bbox = ref None in
+  let extend box =
+    bbox := Some (match !bbox with None -> box | Some b -> Cuboid.union b box)
+  in
+  Array.iter
+    (fun (md : Modular.module_) ->
+      extend (Place25d.module_box placement md.Modular.module_id))
+    modular.Modular.modules;
+  List.iter
+    (fun rn ->
+      List.iter (fun p -> extend (Cuboid.of_origin_size p ~w:1 ~h:1 ~d:1)) rn.Router.path)
+    routed;
+  let dims, volume =
+    match !bbox with
+    | None -> (result.Router.dims, result.Router.volume)
+    | Some b ->
+        let bd, bw, bh = Cuboid.dims b in
+        ((bd, bw, bh), bd * bw * bh)
+  in
+  ( { result with Router.routed; dims; volume },
+    { nets_shortened = !shortened;
+      cells_removed = !removed_total;
+      volume_before = result.Router.volume;
+      volume_after = volume } )

@@ -1,0 +1,22 @@
+(** Post-routing topological deformation.
+
+    A routed dual-defect net is free to deform as long as its endpoints and
+    the braiding relationships stay fixed (§I, §II-D). Negotiated routing
+    leaves detours behind — paths that loop around congestion that has since
+    been ripped up. This pass splices those detours out: whenever two
+    non-consecutive cells of a path are lattice-adjacent, the cells between
+    them are removed. Cells that serve as friend-net terminals of other nets
+    are never removed, so the layout stays valid; the bounding box (and thus
+    the space-time volume) can only shrink. *)
+
+type stats = {
+  nets_shortened : int;
+  cells_removed : int;
+  volume_before : int;
+  volume_after : int;
+}
+
+val shorten :
+  Tqec_place.Place25d.placement -> Router.result -> Router.result * stats
+(** Deterministic; idempotent once a fixpoint is reached (each net is
+    processed to its own fixpoint in one call). *)

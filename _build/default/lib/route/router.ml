@@ -1,0 +1,539 @@
+module Point3 = Tqec_geom.Point3
+module Cuboid = Tqec_geom.Cuboid
+module Binheap = Tqec_prelude.Binheap
+module Bridge = Tqec_bridge.Bridge
+module Modular = Tqec_modular.Modular
+module Place25d = Tqec_place.Place25d
+
+type config = {
+  max_iterations : int;
+  region_margin : int;
+  region_expand : int;
+  history_increment : float;
+  sky : int;
+  friend_aware : bool;
+  max_expansions : int;
+}
+
+let default_config =
+  { max_iterations = 30;
+    region_margin = 3;
+    region_expand = 6;
+    history_increment = 3.0;
+    sky = 6;
+    friend_aware = true;
+    max_expansions = 100_000 }
+
+type routed_net = { net : Bridge.net; path : Point3.t list }
+
+type result = {
+  routed : routed_net list;
+  failed : Bridge.net list;
+  dims : int * int * int;
+  volume : int;
+  iterations_used : int;
+  routed_first_iteration : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Search workspace: generation-stamped flat arrays over the grid.     *)
+(* ------------------------------------------------------------------ *)
+
+(* Quantized path costs: 16 units per step so fractional history costs
+   survive the integer heap keys. *)
+let quantum = 16
+
+type workspace = {
+  grid : Grid.t;
+  g_score : int array;
+  stamp : int array;          (* generation marker per cell *)
+  parent : int array;         (* encoded predecessor cell, -1 for sources *)
+  history : float array;      (* PathFinder history cost per cell *)
+  mutable generation : int;
+}
+
+let make_workspace grid =
+  let n = Grid.size grid in
+  { grid;
+    g_score = Array.make n 0;
+    stamp = Array.make n 0;
+    parent = Array.make n (-1);
+    history = Array.make n 0.0;
+    generation = 0 }
+
+(* A* from the start set to the goal set inside [region]. All hot-loop
+   arithmetic is on encoded cell indices (no allocation per expansion).
+   [target] anchors a 1.5x-weighted Manhattan heuristic: slightly suboptimal
+   paths in exchange for much faster searches — the congestion cost model
+   dominates path shape anyway. Goal cells other than [target] may be
+   reached before the heuristic predicts; that only costs optimality toward
+   friend terminals, never correctness. *)
+let astar ws ~max_expansions ~present_penalty ~occupancy ~region ~starts ~goals ~target =
+  let grid = ws.grid in
+  let nx, ny, _nz = Grid.extents grid in
+  let o = Grid.origin grid in
+  let ox = o.Point3.x and oy = o.Point3.y and oz = o.Point3.z in
+  ws.generation <- ws.generation + 1;
+  let gen = ws.generation in
+  let heap = Binheap.create () in
+  let goal_mark : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun p -> if Grid.in_bounds grid p then Hashtbl.replace goal_mark (Grid.encode grid p) ())
+    goals;
+  let start_mark : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun p -> if Grid.in_bounds grid p then Hashtbl.replace start_mark (Grid.encode grid p) ())
+    starts;
+  (* Region and heuristic in local integer coordinates. *)
+  let rlo = region.Cuboid.lo and rhi = region.Cuboid.hi in
+  let rx0 = rlo.Point3.x - ox and ry0 = rlo.Point3.y - oy and rz0 = rlo.Point3.z - oz in
+  let rx1 = rhi.Point3.x - ox and ry1 = rhi.Point3.y - oy and rz1 = rhi.Point3.z - oz in
+  let tx = target.Point3.x - ox and ty = target.Point3.y - oy and tz = target.Point3.z - oz in
+  let nxy = nx * ny in
+  let h_xyz x y z =
+    quantum * 3 * (abs (x - tx) + abs (y - ty) + abs (z - tz)) / 2
+  in
+  let h_c c =
+    let x = c mod nx in
+    let r = c / nx in
+    h_xyz x (r mod ny) (r / ny)
+  in
+  let seen c = ws.stamp.(c) = gen in
+  let push_c ~from c g =
+    if (not (seen c)) || ws.g_score.(c) > g then begin
+      ws.stamp.(c) <- gen;
+      ws.g_score.(c) <- g;
+      ws.parent.(c) <- from;
+      Binheap.push heap ~key:(-(g + h_c c)) c
+    end
+  in
+  List.iter
+    (fun p -> if Grid.in_bounds grid p then push_c ~from:(-1) (Grid.encode grid p) 0)
+    starts;
+  let step_cost c =
+    let occ = float_of_int (occupancy c) in
+    quantum
+    + int_of_float (float_of_int quantum *. (ws.history.(c) +. (present_penalty *. occ)))
+  in
+  let traversable c =
+    (not (Grid.blocked_c grid c)) || Hashtbl.mem goal_mark c || Hashtbl.mem start_mark c
+  in
+  let found = ref (-1) in
+  let continue_ = ref true in
+  let expansions = ref 0 in
+  while !continue_ do
+    incr expansions;
+    if !expansions > max_expansions then continue_ := false
+    else
+      match Binheap.pop heap with
+      | None -> continue_ := false
+      | Some (neg_key, c) ->
+          if seen c && -neg_key = ws.g_score.(c) + h_c c then begin
+            if Hashtbl.mem goal_mark c then begin
+              found := c;
+              continue_ := false
+            end
+            else begin
+              let g = ws.g_score.(c) in
+              let x = c mod nx in
+              let r = c / nx in
+              let y = r mod ny and z = r / ny in
+              let try_step cq =
+                if traversable cq then push_c ~from:c cq (g + step_cost cq)
+              in
+              if x + 1 < rx1 then try_step (c + 1);
+              if x - 1 >= rx0 then try_step (c - 1);
+              if y + 1 < ry1 then try_step (c + nx);
+              if y - 1 >= ry0 then try_step (c - nx);
+              if z + 1 < rz1 then try_step (c + nxy);
+              if z - 1 >= rz0 then try_step (c - nxy)
+            end
+          end
+  done;
+  if !found < 0 then None
+  else begin
+    let rec back c acc =
+      let acc = Grid.decode grid c :: acc in
+      if ws.parent.(c) < 0 then acc else back ws.parent.(c) acc
+    in
+    Some (back !found [])
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  ws : workspace;
+  base : Grid.t;                            (* modules only *)
+  cell_owner : (int, int list) Hashtbl.t;   (* encoded cell -> net ids *)
+  committed : (int, routed_net) Hashtbl.t;  (* net id -> routed *)
+  pin_nets : (int, int list) Hashtbl.t;     (* pin -> nets using it *)
+}
+
+let commit st rn =
+  Hashtbl.replace st.committed rn.net.Bridge.net_id rn;
+  List.iter
+    (fun p ->
+      let c = Grid.encode st.ws.grid p in
+      let owners = Option.value ~default:[] (Hashtbl.find_opt st.cell_owner c) in
+      Hashtbl.replace st.cell_owner c (rn.net.Bridge.net_id :: owners))
+    rn.path
+
+(* Rip a net up. Nets whose friend terminal rests on the victim's path would
+   be left dangling, so they cascade (bounded by the committed-net count). *)
+let rec uncommit st net_id ~requeue =
+  match Hashtbl.find_opt st.committed net_id with
+  | None -> ()
+  | Some rn ->
+      Hashtbl.remove st.committed net_id;
+      requeue rn.net;
+      let dependents = ref [] in
+      List.iter
+        (fun p ->
+          let c = Grid.encode st.ws.grid p in
+          let owners =
+            List.filter (( <> ) net_id)
+              (Option.value ~default:[] (Hashtbl.find_opt st.cell_owner c))
+          in
+          if owners = [] then Hashtbl.remove st.cell_owner c
+          else Hashtbl.replace st.cell_owner c owners;
+          (* Another net ending exactly here used this path as its friend
+             terminal: it must be re-routed too. *)
+          List.iter
+            (fun other ->
+              match Hashtbl.find_opt st.committed other with
+              | Some orn ->
+                  let first = List.hd orn.path in
+                  let last = List.nth orn.path (List.length orn.path - 1) in
+                  if Point3.equal p first || Point3.equal p last then
+                    dependents := other :: !dependents
+              | None -> ())
+            owners)
+        rn.path;
+      List.iter (fun other -> uncommit st other ~requeue) !dependents
+
+(* Cells on committed friend paths that may serve as alternative terminals
+   for [pin]. *)
+let friend_cells st ~config ~region pin =
+  if not config.friend_aware then []
+  else
+    match Hashtbl.find_opt st.pin_nets pin with
+    | None -> []
+    | Some net_ids ->
+        List.concat_map
+          (fun id ->
+            match Hashtbl.find_opt st.committed id with
+            | None -> []
+            | Some rn -> List.filter (Cuboid.contains_point region) rn.path)
+          net_ids
+
+let route config placement nets =
+  let modular = placement.Place25d.cluster.Tqec_place.Cluster.modular in
+  let d, w, h = placement.Place25d.dims in
+  let halo = config.region_margin + 2 in
+  let lo = Point3.make (-halo) (-halo) (-halo) in
+  let hi = Point3.make (d + halo) (w + halo) (h + halo + config.sky) in
+  let base = Grid.create ~lo ~hi in
+  Array.iter
+    (fun (md : Modular.module_) ->
+      Grid.block_box base (Place25d.module_box placement md.Modular.module_id))
+    modular.Modular.modules;
+  let ws = make_workspace base in
+  (* Soft boundary: cells outside the placed bounding box start with a
+     history surcharge, so detours through the halo or the sky are taken
+     only when the fabric is genuinely congested — they grow the space-time
+     volume. The first two layers above the fabric form a cheaper
+     over-the-top routing plane. *)
+  let placed_box = Cuboid.of_origin_size Point3.zero ~w ~h ~d in
+  for c = 0 to Grid.size base - 1 do
+    let p = Grid.decode base c in
+    if not (Cuboid.contains_point placed_box p) then begin
+      let in_footprint =
+        p.Point3.x >= 0 && p.Point3.x < d && p.Point3.y >= 0 && p.Point3.y < w
+      in
+      if in_footprint && p.Point3.z >= h && p.Point3.z < h + 2 then
+        ws.history.(c) <- 0.5
+      else ws.history.(c) <- 2.5
+    end
+  done;
+  let st =
+    { ws;
+      base;
+      cell_owner = Hashtbl.create 1024;
+      committed = Hashtbl.create 256;
+      pin_nets = Hashtbl.create 256 }
+  in
+  List.iter
+    (fun n ->
+      let add pin =
+        let cur = Option.value ~default:[] (Hashtbl.find_opt st.pin_nets pin) in
+        Hashtbl.replace st.pin_nets pin (n.Bridge.net_id :: cur)
+      in
+      add n.Bridge.pin_a;
+      add n.Bridge.pin_b)
+    nets;
+  let pin_pos = Place25d.pin_position placement in
+  (* Pin mouths — the few free cells next to each pin — are choke points no
+     foreign net should squat on. Pre-charge them so other nets detour, and
+     remember which net each mouth belongs to for conflict arbitration. *)
+  let mouth_owner : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun pin net_ids ->
+      let pos = pin_pos pin in
+      List.iter
+        (fun q ->
+          if Grid.in_bounds base q && not (Grid.blocked base q) then begin
+            let c = Grid.encode base q in
+            ws.history.(c) <- ws.history.(c) +. 2.0;
+            let cur = Option.value ~default:[] (Hashtbl.find_opt mouth_owner c) in
+            Hashtbl.replace mouth_owner c (net_ids @ cur)
+          end)
+        (Point3.neighbors pos))
+    st.pin_nets;
+  let net_len n = Point3.manhattan (pin_pos n.Bridge.pin_a) (pin_pos n.Bridge.pin_b) in
+  let sorted = List.stable_sort (fun a b -> Int.compare (net_len a) (net_len b)) nets in
+  let grid_box = Cuboid.make lo hi in
+  let region_of ~extra n =
+    let pa = pin_pos n.Bridge.pin_a and pb = pin_pos n.Bridge.pin_b in
+    let box =
+      Cuboid.inflate
+        (Cuboid.union
+           (Cuboid.of_origin_size pa ~w:1 ~h:1 ~d:1)
+           (Cuboid.of_origin_size pb ~w:1 ~h:1 ~d:1))
+        (config.region_margin + extra)
+    in
+    match Cuboid.intersect box grid_box with Some r -> r | None -> grid_box
+  in
+  let occupancy c =
+    match Hashtbl.find_opt st.cell_owner c with
+    | Some owners -> List.length owners
+    | None -> 0
+  in
+  let attempt ~extra ~present_penalty n =
+    let pa = pin_pos n.Bridge.pin_a and pb = pin_pos n.Bridge.pin_b in
+    let region = region_of ~extra n in
+    let starts = pa :: friend_cells st ~config ~region n.Bridge.pin_a in
+    let goals = pb :: friend_cells st ~config ~region n.Bridge.pin_b in
+    match
+      astar st.ws ~max_expansions:config.max_expansions ~present_penalty ~occupancy
+        ~region ~starts ~goals ~target:pb
+    with
+    | Some path -> Some { net = n; path }
+    | None -> None
+  in
+  (* Conflict detection: a cell shared by two or more nets is legal only when
+     at most one of them crosses it as path interior — the others must
+     terminate there (friend-net terminals). Returns the younger interior
+     owners to rip up, keeping the earliest-committed net in place. *)
+  let commit_seq = Hashtbl.create 256 in
+  let seq = ref 0 in
+  let conflicted_nets () =
+    let victims = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun cell owners ->
+        if List.length owners >= 2 then begin
+          let interior =
+            List.filter
+              (fun id ->
+                match Hashtbl.find_opt st.committed id with
+                | None -> false
+                | Some rn ->
+                    let p = Grid.decode st.ws.grid cell in
+                    let first = List.hd rn.path in
+                    let last = List.nth rn.path (List.length rn.path - 1) in
+                    not (Point3.equal p first || Point3.equal p last))
+              owners
+          in
+          match interior with
+          | [] | [ _ ] -> ()
+          | _ ->
+              st.ws.history.(cell) <- st.ws.history.(cell) +. config.history_increment;
+              (* Keep the net that cannot go anywhere else: one whose own pin
+                 mouth this cell is; otherwise the earliest-committed. *)
+              let mouth_ids =
+                Option.value ~default:[] (Hashtbl.find_opt mouth_owner cell)
+              in
+              let keep =
+                match List.filter (fun id -> List.mem id mouth_ids) interior with
+                | k :: _ -> Some k
+                | [] ->
+                    List.fold_left
+                      (fun best id ->
+                        let s = Hashtbl.find commit_seq id in
+                        match best with
+                        | Some (bs, _) when bs <= s -> best
+                        | _ -> Some (s, id))
+                      None interior
+                    |> Option.map snd
+              in
+              List.iter
+                (fun id -> if keep <> Some id then Hashtbl.replace victims id ())
+                interior
+        end)
+      st.cell_owner;
+    Hashtbl.fold (fun id () acc -> id :: acc) victims []
+  in
+  let first_iter_count = ref 0 in
+  let iterations_used = ref 0 in
+  let pending = ref sorted in
+  let extra = Hashtbl.create 64 in
+  let get_extra n = Option.value ~default:0 (Hashtbl.find_opt extra n.Bridge.net_id) in
+  let iter = ref 0 in
+  let debug = Sys.getenv_opt "TQEC_ROUTE_DEBUG" <> None in
+  while !pending <> [] && !iter < config.max_iterations do
+    incr iter;
+    iterations_used := !iter;
+    if debug then
+      Printf.eprintf "debug: pass %d, %d pending\n%!" !iter (List.length !pending);
+    (* Present-sharing penalty doubles each pass (PathFinder schedule). *)
+    let present_penalty = min 64.0 (2.0 ** float_of_int (!iter + 1)) in
+    let unrouted = ref [] in
+    List.iter
+      (fun n ->
+        match attempt ~extra:(get_extra n) ~present_penalty n with
+        | Some rn ->
+            commit st rn;
+            Hashtbl.replace commit_seq n.Bridge.net_id !seq;
+            incr seq
+        | None ->
+            (* Geometric region growth: a failed search over a region is paid
+               in full, so take big steps toward the whole grid. *)
+            Hashtbl.replace extra n.Bridge.net_id
+              (max config.region_expand (2 * get_extra n));
+            if Sys.getenv_opt "TQEC_ROUTE_DEBUG" <> None && !iter >= config.max_iterations - 1 then
+              Printf.eprintf "debug: net %d UNROUTED (extra %d)\n%!" n.Bridge.net_id (get_extra n);
+            unrouted := n :: !unrouted)
+      !pending;
+    let ripped = ref [] in
+    List.iter
+      (fun id -> uncommit st id ~requeue:(fun net -> ripped := net :: !ripped))
+      (conflicted_nets ());
+    if Sys.getenv_opt "TQEC_ROUTE_DEBUG" <> None && !iter >= config.max_iterations - 1 then
+      List.iter (fun (net : Bridge.net) ->
+        Printf.eprintf "debug: net %d RIPPED\n%!" net.Bridge.net_id) !ripped;
+    (* A ripped net must look for a detour next time: grow its region too,
+       or it keeps finding the same conflicting corridor. *)
+    List.iter
+      (fun (net : Bridge.net) ->
+        Hashtbl.replace extra net.Bridge.net_id (get_extra net + config.region_expand))
+      !ripped;
+    if !iter = 1 then
+      first_iter_count :=
+        List.length nets - List.length !unrouted - List.length !ripped;
+    let next = List.rev_append !unrouted !ripped in
+    (* Most-starved nets route first next pass; ties shortest-first. *)
+    pending :=
+      List.stable_sort
+        (fun a b ->
+          let c = Int.compare (get_extra b) (get_extra a) in
+          if c <> 0 then c else Int.compare (net_len a) (net_len b))
+        next
+  done;
+  (* If the pass budget ran out mid-negotiation, strip any residual overlap
+     so the returned layout is always legal. *)
+  let rec strip () =
+    match conflicted_nets () with
+    | [] -> []
+    | victims ->
+        let dropped = ref [] in
+        List.iter
+          (fun id -> uncommit st id ~requeue:(fun net -> dropped := net :: !dropped))
+          victims;
+        !dropped @ strip ()
+  in
+  let stripped = strip () in
+  let failed =
+    List.sort_uniq
+      (fun a b -> Int.compare a.Bridge.net_id b.Bridge.net_id)
+      (!pending @ stripped)
+  in
+  let routed = Hashtbl.fold (fun _ rn acc -> rn :: acc) st.committed [] in
+  let routed =
+    List.sort (fun a b -> Int.compare a.net.Bridge.net_id b.net.Bridge.net_id) routed
+  in
+  (* Final bounding box: modules plus every routed cell. *)
+  let bbox = ref None in
+  let extend box =
+    bbox := Some (match !bbox with None -> box | Some b -> Cuboid.union b box)
+  in
+  Array.iter
+    (fun (md : Modular.module_) ->
+      extend (Place25d.module_box placement md.Modular.module_id))
+    modular.Modular.modules;
+  List.iter
+    (fun rn ->
+      List.iter (fun p -> extend (Cuboid.of_origin_size p ~w:1 ~h:1 ~d:1)) rn.path)
+    routed;
+  let dims, volume =
+    match !bbox with
+    | None -> ((0, 0, 0), 0)
+    | Some b ->
+        let bd, bw, bh = Cuboid.dims b in
+        ((bd, bw, bh), bd * bw * bh)
+  in
+  { routed;
+    failed;
+    dims;
+    volume;
+    iterations_used = !iterations_used;
+    routed_first_iteration = !first_iter_count }
+
+module Pset = Set.Make (Point3)
+
+let validate placement result =
+  let err fmt = Printf.ksprintf (fun s : (unit, string) Stdlib.result -> Error s) fmt in
+  let pin_pos = Place25d.pin_position placement in
+  let rec contiguous = function
+    | a :: (b :: _ as rest) ->
+        if Point3.manhattan a b <> 1 then false else contiguous rest
+    | [ _ ] | [] -> true
+  in
+  (* First pass: collect all cells of all paths with multiplicity, and every
+     path's endpoints. *)
+  let use_count : (Point3.t, int) Hashtbl.t = Hashtbl.create 1024 in
+  let endpoints = ref Pset.empty in
+  List.iter
+    (fun rn ->
+      List.iter
+        (fun p ->
+          let c = Option.value ~default:0 (Hashtbl.find_opt use_count p) in
+          Hashtbl.replace use_count p (c + 1))
+        rn.path;
+      match rn.path with
+      | [] -> ()
+      | first :: _ ->
+          let last = List.nth rn.path (List.length rn.path - 1) in
+          endpoints := Pset.add first (Pset.add last !endpoints))
+    result.routed;
+  let rec check_all = function
+    | [] -> Ok ()
+    | rn :: rest ->
+        if rn.path = [] then err "net %d has an empty path" rn.net.Bridge.net_id
+        else if not (contiguous rn.path) then
+          err "net %d path is not axis-connected" rn.net.Bridge.net_id
+        else begin
+          let first = List.hd rn.path in
+          let last = List.nth rn.path (List.length rn.path - 1) in
+          let pa = pin_pos rn.net.Bridge.pin_a and pb = pin_pos rn.net.Bridge.pin_b in
+          (* Each endpoint is either one of the net's own pins or a friend
+             terminal, i.e. a cell also used by another routed net. *)
+          let endpoint_valid p =
+            Point3.equal p pa || Point3.equal p pb
+            || Option.value ~default:0 (Hashtbl.find_opt use_count p) >= 2
+          in
+          if not (endpoint_valid first && endpoint_valid last) then
+            err "net %d has an endpoint that is neither pin nor friend cell"
+              rn.net.Bridge.net_id
+          else check_all rest
+        end
+  in
+  match check_all result.routed with
+  | Error _ as e -> e
+  | Ok () ->
+      (* A cell used by two nets must be an endpoint (friend terminal). *)
+      let bad = ref None in
+      Hashtbl.iter
+        (fun p n -> if n > 1 && not (Pset.mem p !endpoints) then bad := Some p)
+        use_count;
+      (match !bad with
+       | Some p -> err "cell %s shared by several net interiors" (Point3.to_string p)
+       | None -> Ok ())

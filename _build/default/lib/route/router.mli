@@ -1,0 +1,56 @@
+(** Dual-defect net routing (§III-D).
+
+    Iterative maze routing: nets are sorted by Manhattan length and routed by
+    A* search within a restricted search region (initially the bounding box
+    of the two pins plus a margin). Failed nets have their region expanded on
+    the next iteration; a negotiation-based rip-up-and-reroute scheme
+    (PathFinder [31]) maintains a history cost on congested cells and evicts
+    the committed nets that block a failing one.
+
+    Friend-net awareness (§III-D2): once a net is routed, any unrouted net
+    sharing a pin with it may terminate on {e any} cell of the routed path
+    instead of the shared pin — a topological deformation that preserves the
+    braiding relationship and saves routing resource.
+
+    Negotiation follows PathFinder faithfully: paths may temporarily overlap
+    at a present-sharing penalty that doubles every pass; conflicted nets
+    (two interiors on one cell) are ripped up and re-routed, with pin-mouth
+    cells pre-charged and arbitration keeping the net whose own mouth the
+    contested cell is. A dense occupancy grid answers the per-cell queries. *)
+
+type config = {
+  max_iterations : int;   (** routing passes, >= 1 *)
+  region_margin : int;    (** initial slack around each net's pin bbox *)
+  region_expand : int;    (** region growth per failed attempt *)
+  history_increment : float;  (** PathFinder history added on congestion *)
+  sky : int;              (** free layers kept above the top tier *)
+  friend_aware : bool;
+  max_expansions : int;   (** A* node budget per attempt (fail-fast) *)
+}
+
+val default_config : config
+
+type routed_net = { net : Tqec_bridge.Bridge.net; path : Tqec_geom.Point3.t list }
+
+type result = {
+  routed : routed_net list;
+  failed : Tqec_bridge.Bridge.net list;
+  dims : int * int * int;     (** (d, w, h) of the final layout bounding box *)
+  volume : int;
+  iterations_used : int;
+  routed_first_iteration : int;
+      (** nets that succeeded in pass 1 — the 85–95% figure of §IV-C3 *)
+}
+
+val route :
+  config ->
+  Tqec_place.Place25d.placement ->
+  Tqec_bridge.Bridge.net list ->
+  result
+
+val validate :
+  Tqec_place.Place25d.placement -> result -> (unit, string) Stdlib.result
+(** Checked invariants: every path is axis-connected; endpoints are the
+    net's pins or (friend case) cells of a path routed for a net sharing a
+    pin; paths do not cross module interiors (other than pin cells) or each
+    other (other than shared friend cells). *)

@@ -1,0 +1,1 @@
+lib/rtree/rtree.mli: Tqec_geom

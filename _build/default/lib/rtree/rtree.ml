@@ -1,0 +1,206 @@
+module Cuboid = Tqec_geom.Cuboid
+
+type 'a node =
+  | Leaf of (Cuboid.t * 'a) list
+  | Inner of (Cuboid.t * 'a node) list
+
+type 'a t = { mutable root : 'a node; mutable count : int; max_entries : int }
+
+let create ?(max_entries = 8) () =
+  assert (max_entries >= 4);
+  { root = Leaf []; count = 0; max_entries }
+
+let length t = t.count
+
+let mbr_of_entries boxes =
+  match boxes with
+  | [] -> invalid_arg "Rtree: empty node"
+  | b :: rest -> List.fold_left Cuboid.union b rest
+
+let node_mbr = function
+  | Leaf entries -> mbr_of_entries (List.map fst entries)
+  | Inner children -> mbr_of_entries (List.map fst children)
+
+let enlargement mbr box =
+  Cuboid.volume (Cuboid.union mbr box) - Cuboid.volume mbr
+
+(* Quadratic split: pick the pair of seeds wasting the most volume when
+   grouped, then assign remaining entries to the group needing the least
+   enlargement. *)
+let quadratic_split pairs =
+  let arr = Array.of_list pairs in
+  let n = Array.length arr in
+  let waste i j =
+    let bi = fst arr.(i) and bj = fst arr.(j) in
+    Cuboid.volume (Cuboid.union bi bj) - Cuboid.volume bi - Cuboid.volume bj
+  in
+  let seed_a = ref 0 and seed_b = ref 1 and worst = ref min_int in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let w = waste i j in
+      if w > !worst then begin
+        worst := w;
+        seed_a := i;
+        seed_b := j
+      end
+    done
+  done;
+  let group_a = ref [ arr.(!seed_a) ] and group_b = ref [ arr.(!seed_b) ] in
+  let mbr_a = ref (fst arr.(!seed_a)) and mbr_b = ref (fst arr.(!seed_b)) in
+  for i = 0 to n - 1 do
+    if i <> !seed_a && i <> !seed_b then begin
+      let box = fst arr.(i) in
+      let ea = enlargement !mbr_a box and eb = enlargement !mbr_b box in
+      let to_a =
+        if ea < eb then true
+        else if eb < ea then false
+        else List.length !group_a <= List.length !group_b
+      in
+      if to_a then begin
+        group_a := arr.(i) :: !group_a;
+        mbr_a := Cuboid.union !mbr_a box
+      end
+      else begin
+        group_b := arr.(i) :: !group_b;
+        mbr_b := Cuboid.union !mbr_b box
+      end
+    end
+  done;
+  (!group_a, !group_b)
+
+(* Returns the updated node, and an optional sibling when the node split. *)
+let rec insert_node t node box value =
+  match node with
+  | Leaf entries ->
+      let entries = (box, value) :: entries in
+      if List.length entries <= t.max_entries then (Leaf entries, None)
+      else begin
+        let a, b = quadratic_split entries in
+        (Leaf a, Some (Leaf b))
+      end
+  | Inner children ->
+      let best = ref None in
+      let consider (cbox, child) =
+        let e = enlargement cbox box in
+        match !best with
+        | None -> best := Some (e, Cuboid.volume cbox, cbox, child)
+        | Some (be, bv, _, _) ->
+            let v = Cuboid.volume cbox in
+            if e < be || (e = be && v < bv) then best := Some (e, v, cbox, child)
+      in
+      List.iter consider children;
+      let _, _, chosen_box, chosen = Option.get !best in
+      let updated, sibling = insert_node t chosen box value in
+      let replace (cbox, child) =
+        if child == chosen && Cuboid.equal cbox chosen_box then (node_mbr updated, updated)
+        else (cbox, child)
+      in
+      let children = List.map replace children in
+      let children =
+        match sibling with
+        | None -> children
+        | Some s -> (node_mbr s, s) :: children
+      in
+      if List.length children <= t.max_entries then (Inner children, None)
+      else begin
+        let a, b = quadratic_split children in
+        (Inner a, Some (Inner b))
+      end
+
+let insert t box value =
+  let updated, sibling = insert_node t t.root box value in
+  (match sibling with
+   | None -> t.root <- updated
+   | Some s -> t.root <- Inner [ (node_mbr updated, updated); (node_mbr s, s) ]);
+  t.count <- t.count + 1
+
+let rec search_node node query acc =
+  match node with
+  | Leaf entries ->
+      List.fold_left
+        (fun acc (box, v) -> if Cuboid.overlaps box query then (box, v) :: acc else acc)
+        acc entries
+  | Inner children ->
+      List.fold_left
+        (fun acc (cbox, child) ->
+          if Cuboid.overlaps cbox query then search_node child query acc else acc)
+        acc children
+
+let search t query =
+  match t.root with
+  | Leaf [] -> []
+  | _ -> search_node t.root query []
+
+let rec any_overlap_node node query =
+  match node with
+  | Leaf entries -> List.exists (fun (box, _) -> Cuboid.overlaps box query) entries
+  | Inner children ->
+      List.exists
+        (fun (cbox, child) -> Cuboid.overlaps cbox query && any_overlap_node child query)
+        children
+
+let any_overlap t query =
+  match t.root with Leaf [] -> false | _ -> any_overlap_node t.root query
+
+(* Deletion: remove the entry, collect orphaned entries from underfull
+   leaves, and re-insert them (Guttman's condense-tree simplified to
+   re-insertion of leaf entries only). *)
+let remove t box pred =
+  let removed = ref false in
+  let orphans = ref [] in
+  let min_fill = t.max_entries / 2 in
+  let rec walk node =
+    match node with
+    | Leaf entries ->
+        let entries =
+          List.filter
+            (fun (b, v) ->
+              if (not !removed) && Cuboid.equal b box && pred v then begin
+                removed := true;
+                false
+              end
+              else true)
+            entries
+        in
+        if entries = [] then None
+        else if List.length entries < min_fill && !removed then begin
+          orphans := entries @ !orphans;
+          None
+        end
+        else Some (Leaf entries)
+    | Inner children ->
+        let children =
+          List.filter_map
+            (fun (cbox, child) ->
+              if (not !removed) && Cuboid.overlaps cbox box then
+                match walk child with
+                | None -> None
+                | Some child' -> Some (node_mbr child', child')
+              else Some (cbox, child))
+            children
+        in
+        if children = [] then None else Some (Inner children)
+  in
+  (match walk t.root with
+   | None -> t.root <- Leaf []
+   | Some (Inner [ (_, only) ]) -> t.root <- only
+   | Some node -> t.root <- node);
+  if !removed then begin
+    t.count <- t.count - 1 - List.length !orphans;
+    List.iter (fun (b, v) -> insert t b v) !orphans
+  end;
+  !removed
+
+let rec fold_node node acc f =
+  match node with
+  | Leaf entries -> List.fold_left (fun acc (b, v) -> f acc b v) acc entries
+  | Inner children -> List.fold_left (fun acc (_, child) -> fold_node child acc f) acc children
+
+let fold t ~init ~f = fold_node t.root init f
+
+let rec depth_node = function
+  | Leaf _ -> 1
+  | Inner ((_, child) :: _) -> 1 + depth_node child
+  | Inner [] -> 1
+
+let depth t = depth_node t.root

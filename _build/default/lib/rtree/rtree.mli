@@ -1,0 +1,33 @@
+(** 3D R-tree (Guttman 1984, quadratic split).
+
+    The paper maintains routing obstacles — module bodies, distillation
+    boxes and already-routed nets — in an R-tree so overlap queries cost
+    O(log n) on average (§III-D1). Here the hot routing loop uses a dense
+    occupancy grid (faster for unit-cell queries), and the R-tree backs the
+    box-level spatial queries: placement overlap validation and layout
+    inspection. Keys are {!Tqec_geom.Cuboid.t} boxes; each entry carries a
+    caller value. *)
+
+type 'a t
+
+val create : ?max_entries:int -> unit -> 'a t
+(** [max_entries] is the node fan-out M (default 8); minimum fill is M/2. *)
+
+val length : 'a t -> int
+
+val insert : 'a t -> Tqec_geom.Cuboid.t -> 'a -> unit
+
+val remove : 'a t -> Tqec_geom.Cuboid.t -> ('a -> bool) -> bool
+(** [remove t box pred] deletes one entry whose box equals [box] and whose
+    value satisfies [pred]; returns whether an entry was removed. *)
+
+val search : 'a t -> Tqec_geom.Cuboid.t -> (Tqec_geom.Cuboid.t * 'a) list
+(** All entries whose box overlaps the query box. *)
+
+val any_overlap : 'a t -> Tqec_geom.Cuboid.t -> bool
+(** Faster existence-only variant of {!search}. *)
+
+val fold : 'a t -> init:'b -> f:('b -> Tqec_geom.Cuboid.t -> 'a -> 'b) -> 'b
+
+val depth : 'a t -> int
+(** Height of the tree (for balance diagnostics and tests). *)

@@ -1,0 +1,1 @@
+lib/sim/state.ml: Array Complex

@@ -1,0 +1,108 @@
+type t = { n : int; amps : Complex.t array }
+
+let num_qubits t = t.n
+
+let make n =
+  assert (n >= 1 && n <= 24);
+  let amps = Array.make (1 lsl n) Complex.zero in
+  amps.(0) <- Complex.one;
+  { n; amps }
+
+let of_basis n k =
+  let t = make n in
+  t.amps.(0) <- Complex.zero;
+  t.amps.(k) <- Complex.one;
+  t
+
+let amplitude t k = t.amps.(k)
+
+let apply_1q t q m =
+  assert (q >= 0 && q < t.n);
+  let bit = 1 lsl q in
+  let size = Array.length t.amps in
+  let m00 = m.(0) and m01 = m.(1) and m10 = m.(2) and m11 = m.(3) in
+  let i = ref 0 in
+  while !i < size do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let a0 = t.amps.(!i) and a1 = t.amps.(j) in
+      t.amps.(!i) <- Complex.add (Complex.mul m00 a0) (Complex.mul m01 a1);
+      t.amps.(j) <- Complex.add (Complex.mul m10 a0) (Complex.mul m11 a1)
+    end;
+    incr i
+  done
+
+let apply_cnot t ~control ~target =
+  assert (control <> target);
+  let cbit = 1 lsl control and tbit = 1 lsl target in
+  let size = Array.length t.amps in
+  for i = 0 to size - 1 do
+    if i land cbit <> 0 && i land tbit = 0 then begin
+      let j = i lor tbit in
+      let tmp = t.amps.(i) in
+      t.amps.(i) <- t.amps.(j);
+      t.amps.(j) <- tmp
+    end
+  done
+
+let apply_toffoli t ~c1 ~c2 ~target =
+  assert (c1 <> c2 && c1 <> target && c2 <> target);
+  let b1 = 1 lsl c1 and b2 = 1 lsl c2 and tbit = 1 lsl target in
+  let size = Array.length t.amps in
+  for i = 0 to size - 1 do
+    if i land b1 <> 0 && i land b2 <> 0 && i land tbit = 0 then begin
+      let j = i lor tbit in
+      let tmp = t.amps.(i) in
+      t.amps.(i) <- t.amps.(j);
+      t.amps.(j) <- tmp
+    end
+  done
+
+let norm2 t = Array.fold_left (fun acc a -> acc +. Complex.norm2 a) 0.0 t.amps
+
+let equal_up_to_global_phase ?(eps = 1e-9) a b =
+  if a.n <> b.n then false
+  else begin
+    (* Find the phase from the largest-magnitude amplitude of [a]. *)
+    let best = ref 0 and best_mag = ref 0.0 in
+    Array.iteri
+      (fun i amp ->
+        let m = Complex.norm2 amp in
+        if m > !best_mag then begin
+          best_mag := m;
+          best := i
+        end)
+      a.amps;
+    if !best_mag < eps then
+      (* a is the zero vector: equal iff b is too. *)
+      norm2 b < eps
+    else begin
+      let ai = a.amps.(!best) and bi = b.amps.(!best) in
+      if Complex.norm2 bi < eps then false
+      else begin
+        let phase = Complex.div bi ai in
+        let ok = ref true in
+        Array.iteri
+          (fun i amp ->
+            let expected = Complex.mul phase amp in
+            let d = Complex.sub expected b.amps.(i) in
+            if Complex.norm2 d > eps then ok := false)
+          a.amps;
+        !ok
+      end
+    end
+  end
+
+let c re im = { Complex.re; im }
+let isq2 = 1.0 /. sqrt 2.0
+
+let m_x = [| Complex.zero; Complex.one; Complex.one; Complex.zero |]
+let m_y = [| Complex.zero; c 0.0 (-1.0); c 0.0 1.0; Complex.zero |]
+let m_z = [| Complex.one; Complex.zero; Complex.zero; c (-1.0) 0.0 |]
+let m_h = [| c isq2 0.0; c isq2 0.0; c isq2 0.0; c (-.isq2) 0.0 |]
+let m_p = [| Complex.one; Complex.zero; Complex.zero; c 0.0 1.0 |]
+let m_pdag = [| Complex.one; Complex.zero; Complex.zero; c 0.0 (-1.0) |]
+let m_v = [| c isq2 0.0; c 0.0 (-.isq2); c 0.0 (-.isq2); c isq2 0.0 |]
+let m_vdag = [| c isq2 0.0; c 0.0 isq2; c 0.0 isq2; c isq2 0.0 |]
+let m_t = [| Complex.one; Complex.zero; Complex.zero; c isq2 isq2 |]
+let m_tdag = [| Complex.one; Complex.zero; Complex.zero; c isq2 (-.isq2) |]

@@ -1,0 +1,48 @@
+(** Dense state-vector simulator for small qubit counts.
+
+    The compression algorithm never simulates states, but this substrate lets
+    the test suite *prove* that the gate decompositions used by the
+    preprocessing stage (Toffoli → {CNOT, H, T, T†}; H → P·V·P; T² = P;
+    P² = Z; V² = X up to phase) preserve circuit functionality, which the
+    paper takes as given. Qubit 0 is the least significant bit of the basis
+    index. Practical up to ~12 qubits. *)
+
+type t
+
+val num_qubits : t -> int
+
+val make : int -> t
+(** [make n] is the n-qubit all-zeros state |0...0⟩. *)
+
+val of_basis : int -> int -> t
+(** [of_basis n k] is the basis state |k⟩ on [n] qubits. *)
+
+val amplitude : t -> int -> Complex.t
+
+val apply_1q : t -> int -> Complex.t array -> unit
+(** [apply_1q st q m] applies the 2×2 matrix [m] (row-major
+    [|m00; m01; m10; m11|]) to qubit [q], in place. *)
+
+val apply_cnot : t -> control:int -> target:int -> unit
+
+val apply_toffoli : t -> c1:int -> c2:int -> target:int -> unit
+
+val norm2 : t -> float
+(** Squared L2 norm (1.0 for any unitary evolution of a basis state). *)
+
+val equal_up_to_global_phase : ?eps:float -> t -> t -> bool
+
+(** Standard single-qubit matrices in the paper's conventions
+    (P = diag(1, i); V = (1/√2)·[\[1, −i\]; \[−i, 1\]];
+    T = diag(1, e^{iπ/4})). *)
+
+val m_x : Complex.t array
+val m_y : Complex.t array
+val m_z : Complex.t array
+val m_h : Complex.t array
+val m_p : Complex.t array
+val m_pdag : Complex.t array
+val m_v : Complex.t array
+val m_vdag : Complex.t array
+val m_t : Complex.t array
+val m_tdag : Complex.t array

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Benchmarks Circuit Decompose Gate List Option Printf QCheck QCheck_alcotest Tqec_baseline Tqec_canonical Tqec_circuit Tqec_icm

@@ -1,0 +1,1 @@
+test/test_bridge.ml: Alcotest Benchmarks Bridge Circuit Decompose Gate Icm List Modular Option Printf QCheck QCheck_alcotest Tqec_bridge Tqec_circuit Tqec_icm Tqec_modular

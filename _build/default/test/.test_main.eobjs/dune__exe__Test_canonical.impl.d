@@ -1,0 +1,1 @@
+test/test_canonical.ml: Alcotest Benchmarks Canonical Circuit Decompose Gate List Option QCheck QCheck_alcotest Tqec_canonical Tqec_circuit Tqec_geom Tqec_icm

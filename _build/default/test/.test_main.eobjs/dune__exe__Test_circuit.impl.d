@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Benchmarks Circuit Complex Decompose Gate List Option Printf QCheck QCheck_alcotest Real_parser Semantics Tqec_circuit Tqec_sim

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Benchmarks Circuit Gate Option Printf Tqec_canonical Tqec_circuit Tqec_core Tqec_icm Tqec_place Tqec_route

@@ -1,0 +1,1 @@
+test/test_deform.ml: Alcotest Circuit Cluster Gate List Place25d Sa Tqec_bridge Tqec_circuit Tqec_geom Tqec_icm Tqec_modular Tqec_place Tqec_route

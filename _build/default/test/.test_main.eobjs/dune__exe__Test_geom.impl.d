@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Cuboid List Point3 QCheck QCheck_alcotest Tqec_geom

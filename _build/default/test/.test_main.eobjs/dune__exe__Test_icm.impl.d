@@ -1,0 +1,1 @@
+test/test_icm.ml: Alcotest Array Benchmarks Circuit Gate Icm List Option QCheck QCheck_alcotest Stats Tqec_circuit Tqec_icm

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Circuit Complex Decompose Gate List Printf Real_parser Semantics Tqec_circuit Tqec_core Tqec_icm Tqec_route Tqec_sim

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Circuit Gate List Tqec_baseline Tqec_circuit Tqec_core Tqec_icm Tqec_modular Tqec_place Tqec_prelude

@@ -1,0 +1,1 @@
+test/test_modular.ml: Alcotest Array Benchmarks Circuit Decompose Gate Icm List Modular Option Printf QCheck QCheck_alcotest Tqec_circuit Tqec_geom Tqec_icm Tqec_modular

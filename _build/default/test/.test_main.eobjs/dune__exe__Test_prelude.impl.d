@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Binheap Int List QCheck QCheck_alcotest Rng Stopwatch Sys Tqec_prelude Union_find

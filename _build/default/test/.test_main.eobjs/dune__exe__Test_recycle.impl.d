@@ -1,0 +1,1 @@
+test/test_recycle.ml: Alcotest Benchmarks Circuit Decompose Gate Icm List Option Printf QCheck QCheck_alcotest Recycle Tqec_canonical Tqec_circuit Tqec_icm

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Int List String Sys Tqec_circuit Tqec_core Tqec_place Tqec_report

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Circuit Cuboid Gate List Point3 Printf QCheck QCheck_alcotest Tqec_bridge Tqec_circuit Tqec_geom Tqec_icm Tqec_modular Tqec_place Tqec_route

@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Cuboid Int List Point3 QCheck QCheck_alcotest Tqec_geom Tqec_rtree

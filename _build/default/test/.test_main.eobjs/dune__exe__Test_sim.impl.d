@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Complex List Printf QCheck QCheck_alcotest State Tqec_sim

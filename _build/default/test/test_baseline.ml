@@ -1,0 +1,102 @@
+open Tqec_circuit
+module Lin = Tqec_baseline.Lin
+
+let icm_of name =
+  let spec = Option.get (Benchmarks.find name) in
+  Tqec_icm.Icm.of_circuit (Decompose.circuit (Benchmarks.generate spec))
+
+let test_lin_1d_shape () =
+  let r = Lin.run Lin.One_d (icm_of "4gt10-v1_81") in
+  Alcotest.(check int) "width = wires" 131 r.Lin.width;
+  Alcotest.(check int) "height = 2" 2 r.Lin.height;
+  Alcotest.(check bool) "slots below cnot count" true (r.Lin.slots <= 168);
+  Alcotest.(check int) "volume consistent" (r.Lin.width * r.Lin.height * r.Lin.depth)
+    r.Lin.volume
+
+let test_lin_2d_shape () =
+  let r = Lin.run Lin.Two_d (icm_of "4gt10-v1_81") in
+  Alcotest.(check int) "height = 8 (4 rows)" 8 r.Lin.height;
+  Alcotest.(check int) "width = ceil(131/4)" 33 r.Lin.width
+
+let test_lin_2d_beats_1d () =
+  List.iter
+    (fun name ->
+      let icm = icm_of name in
+      let r1 = Lin.run Lin.One_d icm and r2 = Lin.run Lin.Two_d icm in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: 2D slots <= 1D slots" name)
+        true
+        (r2.Lin.slots <= r1.Lin.slots);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: 2D volume <= 1D volume" name)
+        true
+        (r2.Lin.total_volume <= r1.Lin.total_volume))
+    [ "4gt10-v1_81"; "4gt4-v0_73" ]
+
+let test_lin_beats_canonical () =
+  let icm = icm_of "4gt10-v1_81" in
+  let canonical = Tqec_canonical.Canonical.total_volume (Tqec_canonical.Canonical.of_icm icm) in
+  let r1 = Lin.run Lin.One_d icm and r2 = Lin.run Lin.Two_d icm in
+  Alcotest.(check bool) "1D beats canonical" true (r1.Lin.total_volume < canonical);
+  Alcotest.(check bool) "2D beats canonical" true (r2.Lin.total_volume < canonical)
+
+let test_lin_near_paper_4gt10 () =
+  (* Paper Table II: [22] 1D = 98,322 and 2D = 91,116. Calibration holds the
+     reimplementation within 15% of both. *)
+  let icm = icm_of "4gt10-v1_81" in
+  let r1 = Lin.run Lin.One_d icm and r2 = Lin.run Lin.Two_d icm in
+  let close got expect =
+    abs_float (float_of_int got /. float_of_int expect -. 1.0) < 0.15
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "1D %d within 15%% of 98322" r1.Lin.total_volume)
+    true (close r1.Lin.total_volume 98322);
+  Alcotest.(check bool)
+    (Printf.sprintf "2D %d within 15%% of 91116" r2.Lin.total_volume)
+    true (close r2.Lin.total_volume 91116)
+
+let test_lin_dependencies_respected () =
+  (* Two CNOTs on the same wires must be in different slots even in 2D. *)
+  let c =
+    Circuit.make ~name:"dep" ~num_qubits:2
+      [ Gate.Cnot { control = 0; target = 1 }; Gate.Cnot { control = 1; target = 0 } ]
+  in
+  let icm = Tqec_icm.Icm.of_circuit c in
+  let r = Lin.run Lin.Two_d icm in
+  Alcotest.(check int) "two slots" 2 r.Lin.slots
+
+let test_lin_parallel_when_disjoint () =
+  let c =
+    Circuit.make ~name:"par" ~num_qubits:8
+      [ Gate.Cnot { control = 0; target = 1 }; Gate.Cnot { control = 6; target = 7 } ]
+  in
+  let icm = Tqec_icm.Icm.of_circuit c in
+  let r = Lin.run Lin.One_d icm in
+  Alcotest.(check int) "one slot" 1 r.Lin.slots
+
+let prop_slots_bounded =
+  QCheck.Test.make ~name:"slots between 1 and #CNOTs" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (pair (int_bound 5) (int_bound 5)))
+    (fun pairs ->
+      let gates =
+        List.filter_map
+          (fun (a, b) -> if a = b then None else Some (Gate.Cnot { control = a; target = b }))
+          pairs
+      in
+      QCheck.assume (gates <> []);
+      let icm =
+        Tqec_icm.Icm.of_circuit (Circuit.make ~name:"r" ~num_qubits:6 gates)
+      in
+      let r = Lin.run Lin.One_d icm in
+      r.Lin.slots >= 1 && r.Lin.slots <= List.length gates)
+
+let suites =
+  [ ( "baseline.lin",
+      [ Alcotest.test_case "1D shape" `Quick test_lin_1d_shape;
+        Alcotest.test_case "2D shape" `Quick test_lin_2d_shape;
+        Alcotest.test_case "2D beats 1D" `Quick test_lin_2d_beats_1d;
+        Alcotest.test_case "beats canonical" `Quick test_lin_beats_canonical;
+        Alcotest.test_case "near paper (4gt10)" `Quick test_lin_near_paper_4gt10;
+        Alcotest.test_case "dependencies" `Quick test_lin_dependencies_respected;
+        Alcotest.test_case "parallel when disjoint" `Quick test_lin_parallel_when_disjoint;
+        QCheck_alcotest.to_alcotest prop_slots_bounded ] ) ]

@@ -1,0 +1,172 @@
+open Tqec_circuit
+open Tqec_icm
+open Tqec_modular
+open Tqec_bridge
+
+let modular_of gates ~n =
+  Modular.of_icm (Icm.of_circuit (Circuit.make ~name:"t" ~num_qubits:n gates))
+
+let fig9 () =
+  modular_of ~n:3
+    [ Gate.Cnot { control = 0; target = 1 };
+      Gate.Cnot { control = 1; target = 2 };
+      Gate.Cnot { control = 0; target = 2 } ]
+
+let test_naive_nets_fig9 () =
+  let m = fig9 () in
+  let nets = Bridge.naive_nets m in
+  Alcotest.(check int) "nine nets without bridging" 9 (List.length nets)
+
+let test_fig9_bridging_merges () =
+  let m = fig9 () in
+  let r = Bridge.run m in
+  Alcotest.(check bool) "at least one merge" true (r.Bridge.merges >= 1);
+  (* All three loops pairwise share a module, so they should end in one
+     bridge structure. *)
+  Alcotest.(check int) "single structure" 1 (List.length r.Bridge.structures);
+  (match r.Bridge.structures with
+   | [ s ] -> Alcotest.(check (list int)) "all loops merged" [ 0; 1; 2 ] s.Bridge.loops
+   | _ -> Alcotest.fail "expected one structure");
+  (match Bridge.validate r with Ok () -> () | Error e -> Alcotest.fail e)
+
+let test_fig9_net_reduction () =
+  let m = fig9 () in
+  let r = Bridge.run m in
+  let n_bridged = List.length r.Bridge.nets in
+  Alcotest.(check bool)
+    (Printf.sprintf "bridged nets (%d) < naive nets (9)" n_bridged)
+    true (n_bridged < 9);
+  Alcotest.(check bool) "still enough nets to reconstruct" true (n_bridged >= 3)
+
+let test_isolated_loops_untouched () =
+  (* Two CNOTs on disjoint qubit pairs share no module: no merge possible. *)
+  let m =
+    modular_of ~n:4
+      [ Gate.Cnot { control = 0; target = 1 }; Gate.Cnot { control = 2; target = 3 } ]
+  in
+  let r = Bridge.run m in
+  Alcotest.(check int) "no merges" 0 r.Bridge.merges;
+  Alcotest.(check int) "two structures" 2 (List.length r.Bridge.structures);
+  Alcotest.(check int) "nets unchanged" 6 (List.length r.Bridge.nets)
+
+let test_single_loop () =
+  let m = modular_of ~n:2 [ Gate.Cnot { control = 0; target = 1 } ] in
+  let r = Bridge.run m in
+  Alcotest.(check int) "one structure" 1 (List.length r.Bridge.structures);
+  Alcotest.(check int) "three nets" 3 (List.length r.Bridge.nets);
+  (match Bridge.validate r with Ok () -> () | Error e -> Alcotest.fail e)
+
+let test_friend_nets_exist_after_bridging () =
+  let m = fig9 () in
+  let r = Bridge.run m in
+  let friends = Bridge.friend_groups r.Bridge.nets in
+  Alcotest.(check bool) "bridging induces shared pins" true (List.length friends >= 1)
+
+let test_friend_groups_function () =
+  let nets =
+    [ { Bridge.net_id = 0; pin_a = 1; pin_b = 2; loop = 0 };
+      { Bridge.net_id = 1; pin_a = 2; pin_b = 3; loop = 0 };
+      { Bridge.net_id = 2; pin_a = 4; pin_b = 5; loop = 1 } ]
+  in
+  match Bridge.friend_groups nets with
+  | [ (2, [ 0; 1 ]) ] -> ()
+  | _ -> Alcotest.fail "expected nets 0 and 1 as friends at pin 2"
+
+let test_shared_wire_chain_sharing () =
+  (* Two CNOTs control on the same qubit: their loops share that wire module
+     and should merge, leaving a chain owned by both loops. *)
+  let m =
+    modular_of ~n:3
+      [ Gate.Cnot { control = 0; target = 1 }; Gate.Cnot { control = 0; target = 2 } ]
+  in
+  let r = Bridge.run m in
+  Alcotest.(check int) "one merge" 1 r.Bridge.merges;
+  let shared =
+    List.filter (fun cv -> List.length cv.Bridge.chain_loops >= 2) r.Bridge.chains
+  in
+  Alcotest.(check bool) "a shared chain exists" true (List.length shared >= 1)
+
+let test_t_gadget_bridges_heavily () =
+  (* The 7 CNOTs of a T gadget chain through common wires: expect several
+     merges and a clear net reduction. *)
+  let m = modular_of ~n:2 [ Gate.T 0 ] in
+  let naive = List.length (Bridge.naive_nets m) in
+  let r = Bridge.run m in
+  Alcotest.(check int) "naive = 21" 21 naive;
+  Alcotest.(check bool) "merges happen" true (r.Bridge.merges >= 3);
+  (* Intra-gadget merges are single-common-module chain shares: they do not
+     drop the net count, but they create the shared pins that enable
+     friend-net routing. *)
+  Alcotest.(check bool) "no net inflation" true (List.length r.Bridge.nets <= naive);
+  Alcotest.(check bool) "shared pins appear" true
+    (Bridge.friend_groups r.Bridge.nets <> []);
+  (match Bridge.validate r with Ok () -> () | Error e -> Alcotest.fail e)
+
+let test_determinism () =
+  let r1 = Bridge.run (fig9 ()) and r2 = Bridge.run (fig9 ()) in
+  Alcotest.(check int) "same merges" r1.Bridge.merges r2.Bridge.merges;
+  Alcotest.(check int) "same net count" (List.length r1.Bridge.nets)
+    (List.length r2.Bridge.nets)
+
+let test_benchmark_scale_bridging () =
+  (* Whole-benchmark run on the smallest RevLib case: the merge count and
+     net count land near the paper's #Nets = 483 (within 10%). *)
+  let spec = Option.get (Benchmarks.find "4gt10-v1_81") in
+  let c = Decompose.circuit (Benchmarks.generate spec) in
+  let m = Modular.of_icm (Icm.of_circuit c) in
+  let r = Bridge.run m in
+  (match Bridge.validate r with Ok () -> () | Error e -> Alcotest.fail e);
+  let nets = List.length r.Bridge.nets in
+  let naive = List.length (Bridge.naive_nets m) in
+  Alcotest.(check int) "naive nets = 3*cnots" 504 naive;
+  Alcotest.(check bool)
+    (Printf.sprintf "bridged nets %d within 10%% of paper's 483" nets)
+    true
+    (nets <= 531 && nets >= 380)
+
+let prop_bridging_never_loses_loops =
+  QCheck.Test.make ~name:"every loop stays reconstructable after bridging" ~count:30
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 15) (pair (int_bound 3) (int_bound 3)))
+    (fun pairs ->
+      let gates =
+        List.filter_map
+          (fun (a, b) ->
+            if a = b then None else Some (Gate.Cnot { control = a; target = b }))
+          pairs
+      in
+      QCheck.assume (gates <> []);
+      let m = modular_of ~n:4 gates in
+      let r = Bridge.run m in
+      Bridge.validate r = Ok ())
+
+let prop_net_count_bounded =
+  QCheck.Test.make ~name:"bridged net count never exceeds naive count" ~count:30
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 15) (pair (int_bound 3) (int_bound 3)))
+    (fun pairs ->
+      let gates =
+        List.filter_map
+          (fun (a, b) ->
+            if a = b then None else Some (Gate.Cnot { control = a; target = b }))
+          pairs
+      in
+      QCheck.assume (gates <> []);
+      let m = modular_of ~n:4 gates in
+      let r = Bridge.run m in
+      List.length r.Bridge.nets <= List.length (Bridge.naive_nets m))
+
+let suites =
+  [ ( "bridge",
+      [ Alcotest.test_case "naive nets (Fig.9)" `Quick test_naive_nets_fig9;
+        Alcotest.test_case "Fig.9 merges" `Quick test_fig9_bridging_merges;
+        Alcotest.test_case "Fig.9 net reduction" `Quick test_fig9_net_reduction;
+        Alcotest.test_case "isolated loops" `Quick test_isolated_loops_untouched;
+        Alcotest.test_case "single loop" `Quick test_single_loop;
+        Alcotest.test_case "friend nets after bridging" `Quick
+          test_friend_nets_exist_after_bridging;
+        Alcotest.test_case "friend_groups" `Quick test_friend_groups_function;
+        Alcotest.test_case "shared chain" `Quick test_shared_wire_chain_sharing;
+        Alcotest.test_case "T gadget bridging" `Quick test_t_gadget_bridges_heavily;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "benchmark scale" `Quick test_benchmark_scale_bridging;
+        QCheck_alcotest.to_alcotest prop_bridging_never_loses_loops;
+        QCheck_alcotest.to_alcotest prop_net_count_bounded ] ) ]

@@ -1,0 +1,115 @@
+open Tqec_circuit
+open Tqec_canonical
+
+let canonical_of gates ~n =
+  Canonical.of_icm (Tqec_icm.Icm.of_circuit (Circuit.make ~name:"t" ~num_qubits:n gates))
+
+let fig4 () =
+  canonical_of ~n:3
+    [ Gate.Cnot { control = 0; target = 1 };
+      Gate.Cnot { control = 1; target = 2 };
+      Gate.Cnot { control = 0; target = 2 } ]
+
+let test_fig4_volume () =
+  let c = fig4 () in
+  Alcotest.(check int) "volume 54 (9x3x2)" 54 (Canonical.volume c);
+  let w, h, d = Canonical.dims c in
+  Alcotest.(check (list int)) "dims" [ 3; 2; 9 ] [ w; h; d ]
+
+let test_dims_model () =
+  (* W = #wires, H = 2, D = 3 * #CNOTs for arbitrary supported circuits. *)
+  let c = canonical_of ~n:4 (List.init 5 (fun i ->
+      Gate.Cnot { control = i mod 3; target = 3 })) in
+  let w, h, d = Canonical.dims c in
+  Alcotest.(check (list int)) "4 wires, 2 high, 15 deep" [ 4; 2; 15 ] [ w; h; d ]
+
+let test_t_gadget_dims () =
+  let c = canonical_of ~n:2 [ Gate.T 0 ] in
+  let w, h, d = Canonical.dims c in
+  Alcotest.(check (list int)) "8 wires, 21 deep" [ 8; 2; 21 ] [ w; h; d ]
+
+let test_total_volume_adds_boxes () =
+  let c = canonical_of ~n:2 [ Gate.T 0 ] in
+  Alcotest.(check int) "volume + 2*18 + 192"
+    (Canonical.volume c + 36 + 192)
+    (Canonical.total_volume c);
+  let plain = fig4 () in
+  Alcotest.(check int) "no boxes, no increment" (Canonical.volume plain)
+    (Canonical.total_volume plain)
+
+let test_elements_structure () =
+  let c = fig4 () in
+  let rails, loops =
+    List.partition (fun e -> e.Canonical.defect = Canonical.Primal) c.Canonical.elements
+  in
+  (* Two primal rails per wire, four dual ring segments per CNOT. *)
+  Alcotest.(check int) "rails" 6 (List.length rails);
+  Alcotest.(check int) "loop segments" 12 (List.length loops)
+
+let test_elements_within_bounds () =
+  let c = canonical_of ~n:3 [ Gate.Cnot { control = 0; target = 2 }; Gate.T 1 ] in
+  let w, h, d = Canonical.dims c in
+  let bound =
+    Tqec_geom.Cuboid.of_origin_size Tqec_geom.Point3.zero ~w ~h ~d
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) ("element in bounds: " ^ e.Canonical.label) true
+        (Tqec_geom.Cuboid.contains bound e.Canonical.cuboid))
+    c.Canonical.elements
+
+let test_rails_disjoint_from_each_other () =
+  let c = fig4 () in
+  let rails =
+    List.filter (fun e -> e.Canonical.defect = Canonical.Primal) c.Canonical.elements
+  in
+  let rec pairwise = function
+    | e1 :: rest ->
+        List.iter
+          (fun e2 ->
+            Alcotest.(check bool) "rails disjoint" false
+              (Tqec_geom.Cuboid.overlaps e1.Canonical.cuboid e2.Canonical.cuboid))
+          rest;
+        pairwise rest
+    | [] -> ()
+  in
+  pairwise rails
+
+let test_table2_canonical_volumes () =
+  (* Canonical total volumes of Table II, exactly. *)
+  List.iter
+    (fun (name, expected) ->
+      let spec = Option.get (Benchmarks.find name) in
+      let icm =
+        Tqec_icm.Icm.of_circuit (Decompose.circuit (Benchmarks.generate spec))
+      in
+      let c = Canonical.of_icm icm in
+      Alcotest.(check int) (name ^ " canonical total") expected (Canonical.total_volume c))
+    [ ("4gt10-v1_81", 136836); ("4gt4-v0_73", 535398); ("rd84_142", 6287400);
+      ("hwb5_53", 13608294); ("sym6_145", 18103176); ("ham15_107", 111335928) ]
+
+let prop_volume_grows_with_cnots =
+  QCheck.Test.make ~name:"canonical volume monotone in CNOT count" ~count:50
+    QCheck.(int_range 1 30)
+    (fun k ->
+      let c1 =
+        canonical_of ~n:3 (List.init k (fun _ -> Gate.Cnot { control = 0; target = 1 }))
+      in
+      let c2 =
+        canonical_of ~n:3
+          (List.init (k + 1) (fun _ -> Gate.Cnot { control = 0; target = 1 }))
+      in
+      Canonical.volume c2 > Canonical.volume c1)
+
+let suites =
+  [ ( "canonical",
+      [ Alcotest.test_case "Fig.4 volume" `Quick test_fig4_volume;
+        Alcotest.test_case "dims model" `Quick test_dims_model;
+        Alcotest.test_case "T gadget dims" `Quick test_t_gadget_dims;
+        Alcotest.test_case "total volume boxes" `Quick test_total_volume_adds_boxes;
+        Alcotest.test_case "elements structure" `Quick test_elements_structure;
+        Alcotest.test_case "elements in bounds" `Quick test_elements_within_bounds;
+        Alcotest.test_case "rails disjoint" `Quick test_rails_disjoint_from_each_other;
+        Alcotest.test_case "Table II canonical volumes" `Quick
+          test_table2_canonical_volumes;
+        QCheck_alcotest.to_alcotest prop_volume_grows_with_cnots ] ) ]

@@ -1,0 +1,234 @@
+open Tqec_circuit
+
+let mk = Circuit.make
+
+let test_make_validation () =
+  Alcotest.check_raises "qubit out of range" (Invalid_argument
+    "Circuit.make: gate CNOT 0 5 uses qubit 5 outside [0,3)")
+    (fun () -> ignore (mk ~name:"bad" ~num_qubits:3 [ Gate.Cnot { control = 0; target = 5 } ]));
+  (try
+     ignore (mk ~name:"dup" ~num_qubits:3 [ Gate.Cnot { control = 1; target = 1 } ]);
+     Alcotest.fail "expected rejection of repeated qubit"
+   with Invalid_argument _ -> ())
+
+let test_counts () =
+  let c =
+    mk ~name:"c" ~num_qubits:3
+      [ Gate.T 0; Gate.Tdag 1; Gate.Cnot { control = 0; target = 1 }; Gate.H 2 ]
+  in
+  Alcotest.(check int) "gate count" 4 (Circuit.gate_count c);
+  Alcotest.(check int) "t count" 2 (Circuit.t_count c);
+  Alcotest.(check int) "cnot count" 1 (Circuit.cnot_count c);
+  Alcotest.(check bool) "H unsupported" false (Circuit.is_tqec_supported c)
+
+(* --- decomposition, verified against the simulator --- *)
+
+let test_toffoli_decomposition_correct () =
+  let tof = mk ~name:"tof" ~num_qubits:3 [ Gate.Toffoli { c1 = 0; c2 = 1; target = 2 } ] in
+  let dec = mk ~name:"dec" ~num_qubits:3 (Decompose.toffoli ~c1:0 ~c2:1 ~target:2) in
+  Alcotest.(check bool) "equivalent" true (Semantics.equivalent tof dec)
+
+let test_toffoli_resource_counts () =
+  let gates = Decompose.toffoli ~c1:0 ~c2:1 ~target:2 in
+  let c = mk ~name:"t" ~num_qubits:3 gates in
+  Alcotest.(check int) "7 T-type gates" 7 (Circuit.t_count c);
+  Alcotest.(check int) "6 CNOTs" 6 (Circuit.cnot_count c);
+  Alcotest.(check int) "2 H gates" 2
+    (Circuit.count_if c (function Gate.H _ -> true | _ -> false))
+
+let test_hadamard_decomposition_correct () =
+  let h = mk ~name:"h" ~num_qubits:1 [ Gate.H 0 ] in
+  let dec = mk ~name:"pvp" ~num_qubits:1 (Decompose.hadamard 0) in
+  Alcotest.(check bool) "H = PVP" true (Semantics.equivalent h dec)
+
+let test_fredkin_decomposition_correct () =
+  let f = mk ~name:"f" ~num_qubits:3 [ Gate.Fredkin { control = 0; a = 1; b = 2 } ] in
+  let dec = mk ~name:"fd" ~num_qubits:3 (Decompose.fredkin ~control:0 ~a:1 ~b:2) in
+  Alcotest.(check bool) "Fredkin decomposition" true (Semantics.equivalent f dec)
+
+let test_z_decomposition_correct () =
+  let z = mk ~name:"z" ~num_qubits:1 [ Gate.Z 0 ] in
+  let dec = mk ~name:"pp" ~num_qubits:1 (Decompose.gate (Gate.Z 0)) in
+  Alcotest.(check bool) "Z = PP" true (Semantics.equivalent z dec)
+
+let test_full_circuit_decomposition () =
+  let c =
+    mk ~name:"mixed" ~num_qubits:3
+      [ Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+        Gate.H 0;
+        Gate.Cnot { control = 1; target = 0 };
+        Gate.Z 2;
+        Gate.T 1 ]
+  in
+  let dec = Decompose.circuit c in
+  Alcotest.(check bool) "fully supported" true (Circuit.is_tqec_supported dec);
+  Alcotest.(check bool) "still equivalent" true (Semantics.equivalent c dec)
+
+let test_toffoli_decomposed_gate_total () =
+  (* Full decomposition: the 2 H gates expand to P·V·P, so 15 + 2·2 = 19. *)
+  let dec = Decompose.gate (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }) in
+  Alcotest.(check int) "19 gates" 19 (List.length dec)
+
+(* --- RevLib parser --- *)
+
+let sample_real =
+  ".version 2.0\n\
+   .numvars 3\n\
+   .variables a b c\n\
+   # a comment\n\
+   .begin\n\
+   t1 a\n\
+   t2 a b\n\
+   t3 a b c\n\
+   .end\n"
+
+let test_parse_real () =
+  let c = Real_parser.of_string ~name:"sample" sample_real in
+  Alcotest.(check int) "qubits" 3 c.Circuit.num_qubits;
+  match c.Circuit.gates with
+  | [ Gate.Not 0; Gate.Cnot { control = 0; target = 1 };
+      Gate.Toffoli { c1 = 0; c2 = 1; target = 2 } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected gate list"
+
+let test_parse_real_mct () =
+  let text =
+    ".numvars 4\n.variables a b c d\n.begin\nt4 a b c d\n.end\n"
+  in
+  let c = Real_parser.of_string ~name:"mct" text in
+  (* t4 lowers to three Toffolis through one clean ancilla. *)
+  Alcotest.(check int) "ancilla added" 5 c.Circuit.num_qubits;
+  Alcotest.(check int) "lowered gates" 3 (Circuit.gate_count c);
+  (* Functional check against a direct 3-control-not on the 4 data qubits. *)
+  let reference input =
+    if input land 0b0111 = 0b0111 then input lxor 0b1000 else input
+  in
+  for input = 0 to 15 do
+    let st = Semantics.run_on_basis c input in
+    let expect = reference input in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "t4 on |%d>" input)
+      1.0
+      (Complex.norm (Tqec_sim.State.amplitude st expect))
+  done
+
+let test_parse_real_fredkin () =
+  let text = ".numvars 3\n.variables x y z\n.begin\nf3 x y z\n.end\n" in
+  let c = Real_parser.of_string ~name:"fred" text in
+  match c.Circuit.gates with
+  | [ Gate.Fredkin { control = 0; a = 1; b = 2 } ] -> ()
+  | _ -> Alcotest.fail "expected one Fredkin gate"
+
+let test_parse_errors () =
+  let expect_error text =
+    try
+      ignore (Real_parser.of_string ~name:"bad" text);
+      Alcotest.fail "expected Parse_error"
+    with Real_parser.Parse_error _ -> ()
+  in
+  expect_error ".numvars 2\n.variables a b\n.begin\nt2 a z\n.end\n";
+  expect_error ".variables a b\n.begin\n.end\n";
+  expect_error ".numvars 2\n.variables a b\nt2 a b\n"
+
+(* --- benchmark generators --- *)
+
+let test_benchmark_specs_table1 () =
+  (* #Gates of Table I. *)
+  let expected =
+    [ ("4gt10-v1_81", 5, 6); ("4gt4-v0_73", 5, 17); ("rd84_142", 15, 28);
+      ("hwb5_53", 5, 55); ("add16_174", 49, 64); ("sym6_145", 7, 36);
+      ("cycle17_3_112", 20, 48); ("ham15_107", 15, 132) ]
+  in
+  List.iter
+    (fun (name, qubits, gates) ->
+      match Benchmarks.find name with
+      | None -> Alcotest.fail ("missing benchmark " ^ name)
+      | Some s ->
+          Alcotest.(check int) (name ^ " qubits") qubits s.Benchmarks.qubits;
+          Alcotest.(check int) (name ^ " gates") gates (Benchmarks.gate_count s))
+    expected
+
+let test_benchmark_generation_deterministic () =
+  let s = Option.get (Benchmarks.find "4gt10-v1_81") in
+  let c1 = Benchmarks.generate s and c2 = Benchmarks.generate s in
+  Alcotest.(check bool) "same gates" true
+    (List.for_all2 Gate.equal c1.Circuit.gates c2.Circuit.gates)
+
+let test_benchmark_generation_counts () =
+  List.iter
+    (fun s ->
+      let c = Benchmarks.generate s in
+      Alcotest.(check int) (s.Benchmarks.name ^ " toffolis") s.Benchmarks.toffolis
+        (Circuit.count_if c (function Gate.Toffoli _ -> true | _ -> false));
+      Alcotest.(check int) (s.Benchmarks.name ^ " cnots") s.Benchmarks.cnots
+        (Circuit.cnot_count c))
+    Benchmarks.all
+
+let test_benchmark_seed_changes_circuit () =
+  let s = Option.get (Benchmarks.find "rd84_142") in
+  let c1 = Benchmarks.generate ~seed:1 s and c2 = Benchmarks.generate ~seed:2 s in
+  Alcotest.(check bool) "different circuits" false
+    (List.for_all2 Gate.equal c1.Circuit.gates c2.Circuit.gates)
+
+let prop_decompose_supported =
+  QCheck.Test.make ~name:"decomposition always lands in the supported set" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (int_bound 5))
+    (fun ops ->
+      let gates =
+        List.map
+          (fun op ->
+            match op with
+            | 0 -> Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }
+            | 1 -> Gate.H 0
+            | 2 -> Gate.Cnot { control = 1; target = 2 }
+            | 3 -> Gate.T 1
+            | 4 -> Gate.Z 2
+            | _ -> Gate.Fredkin { control = 2; a = 0; b = 1 })
+          ops
+      in
+      let c = mk ~name:"rand" ~num_qubits:3 gates in
+      Circuit.is_tqec_supported (Decompose.circuit c))
+
+let prop_random_3q_decomposition_equivalent =
+  QCheck.Test.make ~name:"random 3-qubit circuits survive decomposition" ~count:25
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_bound 5))
+    (fun ops ->
+      let gates =
+        List.map
+          (fun op ->
+            match op with
+            | 0 -> Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }
+            | 1 -> Gate.H 0
+            | 2 -> Gate.Cnot { control = 1; target = 2 }
+            | 3 -> Gate.T 1
+            | 4 -> Gate.Z 2
+            | _ -> Gate.P 0)
+          ops
+      in
+      let c = mk ~name:"rand" ~num_qubits:3 gates in
+      Semantics.equivalent c (Decompose.circuit c))
+
+let suites =
+  [ ( "circuit.basic",
+      [ Alcotest.test_case "validation" `Quick test_make_validation;
+        Alcotest.test_case "counts" `Quick test_counts ] );
+    ( "circuit.decompose",
+      [ Alcotest.test_case "Toffoli correct" `Quick test_toffoli_decomposition_correct;
+        Alcotest.test_case "Toffoli resources" `Quick test_toffoli_resource_counts;
+        Alcotest.test_case "H = PVP" `Quick test_hadamard_decomposition_correct;
+        Alcotest.test_case "Fredkin" `Quick test_fredkin_decomposition_correct;
+        Alcotest.test_case "Z = PP" `Quick test_z_decomposition_correct;
+        Alcotest.test_case "full circuit" `Quick test_full_circuit_decomposition;
+        Alcotest.test_case "Toffoli gate total" `Quick test_toffoli_decomposed_gate_total;
+        QCheck_alcotest.to_alcotest prop_decompose_supported;
+        QCheck_alcotest.to_alcotest prop_random_3q_decomposition_equivalent ] );
+    ( "circuit.real_parser",
+      [ Alcotest.test_case "basic" `Quick test_parse_real;
+        Alcotest.test_case "multi-control lowering" `Quick test_parse_real_mct;
+        Alcotest.test_case "fredkin" `Quick test_parse_real_fredkin;
+        Alcotest.test_case "errors" `Quick test_parse_errors ] );
+    ( "circuit.benchmarks",
+      [ Alcotest.test_case "Table I specs" `Quick test_benchmark_specs_table1;
+        Alcotest.test_case "deterministic" `Quick test_benchmark_generation_deterministic;
+        Alcotest.test_case "gate counts" `Quick test_benchmark_generation_counts;
+        Alcotest.test_case "seed sensitivity" `Quick test_benchmark_seed_changes_circuit ] ) ]

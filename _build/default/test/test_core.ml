@@ -1,0 +1,106 @@
+open Tqec_circuit
+module Flow = Tqec_core.Flow
+
+let fast_options =
+  Flow.scale_options ~sa_iterations:1500 ~route_iterations:15 Flow.default_options
+
+let fig4_circuit () =
+  Circuit.make ~name:"fig4" ~num_qubits:3
+    [ Gate.Cnot { control = 0; target = 1 };
+      Gate.Cnot { control = 1; target = 2 };
+      Gate.Cnot { control = 0; target = 2 } ]
+
+let test_flow_end_to_end () =
+  let f = Flow.run ~options:fast_options (fig4_circuit ()) in
+  (match Flow.validate f with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "volume positive" true (f.Flow.volume > 0);
+  let w, h, d = f.Flow.dims in
+  Alcotest.(check int) "volume consistent" (w * h * d) f.Flow.volume
+
+let test_flow_beats_canonical () =
+  (* Compression wins once the canonical form's serial time axis dominates;
+     on the tiny Fig. 4 example the modular overhead exceeds 54, which is
+     expected and documented. Use the smallest real benchmark instead. *)
+  let spec = Option.get (Benchmarks.find "4gt10-v1_81") in
+  let f = Flow.run ~options:fast_options (Benchmarks.generate spec) in
+  let canonical = Tqec_canonical.Canonical.total_volume f.Flow.canonical in
+  Alcotest.(check int) "canonical is 136,836" 136836 canonical;
+  Alcotest.(check bool)
+    (Printf.sprintf "compressed %d well below canonical %d" f.Flow.volume canonical)
+    true
+    (float_of_int f.Flow.volume < 0.75 *. float_of_int canonical)
+
+let test_flow_with_t_gates () =
+  let c =
+    Circuit.make ~name:"with-t" ~num_qubits:2
+      [ Gate.T 0; Gate.Cnot { control = 0; target = 1 }; Gate.Tdag 1 ]
+  in
+  let f = Flow.run ~options:fast_options c in
+  (match Flow.validate f with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "2 gadgets" 2 (Array.length f.Flow.canonical.Tqec_canonical.Canonical.icm.Tqec_icm.Icm.gadgets)
+
+let test_flow_toffoli_input () =
+  (* Unsupported gates decompose inside the flow. *)
+  let c =
+    Circuit.make ~name:"tof" ~num_qubits:3
+      [ Gate.Toffoli { c1 = 0; c2 = 1; target = 2 } ]
+  in
+  let f = Flow.run ~options:fast_options c in
+  Alcotest.(check int) "7 |A> states" 7 f.Flow.stats.Tqec_icm.Stats.n_a;
+  match Flow.validate f with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_flow_bridging_ablation () =
+  let c = fig4_circuit () in
+  let with_b = Flow.run ~options:fast_options c in
+  let without =
+    Flow.run ~options:{ fast_options with Flow.bridging = false } c
+  in
+  Alcotest.(check bool) "bridge record present" true (with_b.Flow.bridge <> None);
+  Alcotest.(check bool) "bridge record absent" true (without.Flow.bridge = None);
+  Alcotest.(check bool) "fewer or equal nets with bridging" true
+    (Flow.num_nets with_b <= Flow.num_nets without);
+  match Flow.validate without with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_flow_conference_mode () =
+  let c =
+    Circuit.make ~name:"conf" ~num_qubits:3
+      [ Gate.T 0;
+        Gate.Cnot { control = 0; target = 1 };
+        Gate.Cnot { control = 1; target = 2 } ]
+  in
+  let journal = Flow.run ~options:fast_options c in
+  let conference =
+    Flow.run ~options:{ fast_options with Flow.primal_groups = false } c
+  in
+  Alcotest.(check bool) "conference mode has more nodes" true
+    (Flow.num_nodes conference >= Flow.num_nodes journal);
+  match Flow.validate conference with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_flow_deterministic () =
+  let f1 = Flow.run ~options:fast_options (fig4_circuit ()) in
+  let f2 = Flow.run ~options:fast_options (fig4_circuit ()) in
+  Alcotest.(check int) "same volume" f1.Flow.volume f2.Flow.volume
+
+let test_flow_breakdown_sums () =
+  let f = Flow.run ~options:fast_options (fig4_circuit ()) in
+  let b = f.Flow.breakdown in
+  Alcotest.(check bool) "stages sum below total" true
+    (b.Flow.t_preprocess +. b.Flow.t_bridging +. b.Flow.t_placement +. b.Flow.t_routing
+     <= b.Flow.t_total +. 0.05)
+
+let test_scale_options () =
+  let o = Flow.scale_options ~sa_iterations:123 ~route_iterations:7 Flow.default_options in
+  Alcotest.(check int) "sa" 123 o.Flow.place.Tqec_place.Place25d.sa.Tqec_place.Sa.iterations;
+  Alcotest.(check int) "route" 7 o.Flow.route.Tqec_route.Router.max_iterations
+
+let suites =
+  [ ( "core.flow",
+      [ Alcotest.test_case "end to end" `Quick test_flow_end_to_end;
+        Alcotest.test_case "beats canonical" `Quick test_flow_beats_canonical;
+        Alcotest.test_case "with T gates" `Quick test_flow_with_t_gates;
+        Alcotest.test_case "Toffoli input" `Quick test_flow_toffoli_input;
+        Alcotest.test_case "bridging ablation" `Quick test_flow_bridging_ablation;
+        Alcotest.test_case "conference mode" `Quick test_flow_conference_mode;
+        Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
+        Alcotest.test_case "breakdown" `Quick test_flow_breakdown_sums;
+        Alcotest.test_case "scale options" `Quick test_scale_options ] ) ]

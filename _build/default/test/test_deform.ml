@@ -1,0 +1,82 @@
+open Tqec_circuit
+open Tqec_place
+module Router = Tqec_route.Router
+module Deform = Tqec_route.Deform
+
+let routed_setup gates ~n =
+  let icm = Tqec_icm.Icm.of_circuit (Circuit.make ~name:"t" ~num_qubits:n gates) in
+  let m = Tqec_modular.Modular.of_icm icm in
+  let bridge = Tqec_bridge.Bridge.run m in
+  let cl = Cluster.build m in
+  let cfg =
+    { Place25d.default_config with
+      Place25d.tiers = Some 2;
+      sa = { Sa.default_params with Sa.iterations = 1000 } }
+  in
+  let p = Place25d.place cfg cl bridge.Tqec_bridge.Bridge.nets in
+  let r = Router.route Router.default_config p bridge.Tqec_bridge.Bridge.nets in
+  (p, r)
+
+let gates =
+  [ Gate.Cnot { control = 0; target = 1 };
+    Gate.T 1;
+    Gate.Cnot { control = 1; target = 2 };
+    Gate.Cnot { control = 2; target = 0 } ]
+
+let test_shorten_keeps_validity () =
+  let p, r = routed_setup gates ~n:3 in
+  let r', stats = Deform.shorten p r in
+  (match Router.validate p r' with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "volume never grows" true
+    (stats.Deform.volume_after <= stats.Deform.volume_before);
+  Alcotest.(check int) "same net count" (List.length r.Router.routed)
+    (List.length r'.Router.routed)
+
+let test_shorten_monotone_lengths () =
+  let p, r = routed_setup gates ~n:3 in
+  let r', _ = Deform.shorten p r in
+  List.iter2
+    (fun before after ->
+      Alcotest.(check bool) "path never longer" true
+        (List.length after.Router.path <= List.length before.Router.path);
+      (* Endpoints are preserved. *)
+      Alcotest.(check bool) "first endpoint kept" true
+        (Tqec_geom.Point3.equal (List.hd before.Router.path) (List.hd after.Router.path)))
+    r.Router.routed r'.Router.routed
+
+let test_shorten_idempotent () =
+  let p, r = routed_setup gates ~n:3 in
+  let r1, _ = Deform.shorten p r in
+  let r2, stats2 = Deform.shorten p r1 in
+  Alcotest.(check int) "second pass removes nothing" 0 stats2.Deform.cells_removed;
+  Alcotest.(check int) "volume stable" r1.Router.volume r2.Router.volume
+
+let test_shorten_synthetic_detour () =
+  (* A hand-made result with an obvious detour: the splice must cut it. The
+     staircase 0,0 -> 1,0 -> 1,1 -> 2,1 -> 2,0 -> 3,0 detours over y = 1;
+     cells (1,0) and (2,0) are adjacent, so the two y = 1 cells go away. *)
+  let p, _ = routed_setup [ Gate.Cnot { control = 0; target = 1 } ] ~n:2 in
+  let p3 = Tqec_geom.Point3.make in
+  let detour = [ p3 0 0 0; p3 1 0 0; p3 1 1 0; p3 2 1 0; p3 2 0 0; p3 3 0 0 ] in
+  let net = { Tqec_bridge.Bridge.net_id = 0; pin_a = 0; pin_b = 1; loop = 0 } in
+  let fake =
+    { Router.routed = [ { Router.net; path = detour } ];
+      failed = [];
+      dims = (0, 0, 0);
+      volume = max_int;
+      iterations_used = 1;
+      routed_first_iteration = 1 }
+  in
+  let r', stats = Deform.shorten p fake in
+  Alcotest.(check int) "two cells spliced out" 2 stats.Deform.cells_removed;
+  (match r'.Router.routed with
+   | [ rn ] ->
+       Alcotest.(check int) "path shortened to 4" 4 (List.length rn.Router.path)
+   | _ -> Alcotest.fail "expected one net")
+
+let suites =
+  [ ( "route.deform",
+      [ Alcotest.test_case "keeps validity" `Quick test_shorten_keeps_validity;
+        Alcotest.test_case "monotone lengths" `Quick test_shorten_monotone_lengths;
+        Alcotest.test_case "idempotent" `Quick test_shorten_idempotent;
+        Alcotest.test_case "synthetic detour" `Quick test_shorten_synthetic_detour ] ) ]

@@ -1,0 +1,156 @@
+open Tqec_geom
+
+let point = Alcotest.testable Point3.pp Point3.equal
+let cuboid = Alcotest.testable Cuboid.pp Cuboid.equal
+
+let p = Point3.make
+
+let test_point_arith () =
+  Alcotest.check point "add" (p 4 6 8) (Point3.add (p 1 2 3) (p 3 4 5));
+  Alcotest.check point "sub" (p 2 2 2) (Point3.sub (p 3 4 5) (p 1 2 3));
+  Alcotest.check point "zero identity" (p 1 2 3) (Point3.add (p 1 2 3) Point3.zero)
+
+let test_manhattan () =
+  Alcotest.(check int) "distance" 9 (Point3.manhattan (p 0 0 0) (p 2 3 4));
+  Alcotest.(check int) "symmetric" (Point3.manhattan (p 5 1 2) (p 0 0 0))
+    (Point3.manhattan (p 0 0 0) (p 5 1 2));
+  Alcotest.(check int) "self" 0 (Point3.manhattan (p 7 7 7) (p 7 7 7))
+
+let test_neighbors () =
+  let ns = Point3.neighbors (p 1 1 1) in
+  Alcotest.(check int) "six neighbors" 6 (List.length ns);
+  List.iter
+    (fun n -> Alcotest.(check int) "unit distance" 1 (Point3.manhattan (p 1 1 1) n))
+    ns
+
+let test_compare_total_order () =
+  Alcotest.(check bool) "lt" true (Point3.compare (p 0 0 0) (p 0 0 1) < 0);
+  Alcotest.(check bool) "eq" true (Point3.compare (p 1 2 3) (p 1 2 3) = 0);
+  Alcotest.(check bool) "gt" true (Point3.compare (p 1 0 0) (p 0 9 9) > 0)
+
+let test_cuboid_volume () =
+  let c = Cuboid.of_origin_size (p 0 0 0) ~w:3 ~h:2 ~d:9 in
+  Alcotest.(check int) "canonical motivating volume" 54 (Cuboid.volume c);
+  let d, w, h = Cuboid.dims c in
+  Alcotest.(check (list int)) "dims" [ 9; 3; 2 ] [ d; w; h ]
+
+let test_cuboid_overlap () =
+  let a = Cuboid.of_origin_size (p 0 0 0) ~w:2 ~h:2 ~d:2 in
+  let b = Cuboid.of_origin_size (p 1 1 1) ~w:2 ~h:2 ~d:2 in
+  let c = Cuboid.of_origin_size (p 2 0 0) ~w:2 ~h:2 ~d:2 in
+  Alcotest.(check bool) "overlapping" true (Cuboid.overlaps a b);
+  Alcotest.(check bool) "touching is not overlap" false (Cuboid.overlaps a c);
+  Alcotest.(check bool) "symmetric" true (Cuboid.overlaps b a)
+
+let test_cuboid_contains () =
+  let outer = Cuboid.of_origin_size (p 0 0 0) ~w:10 ~h:10 ~d:10 in
+  let inner = Cuboid.of_origin_size (p 2 2 2) ~w:3 ~h:3 ~d:3 in
+  Alcotest.(check bool) "contains" true (Cuboid.contains outer inner);
+  Alcotest.(check bool) "not contained" false (Cuboid.contains inner outer);
+  Alcotest.(check bool) "self-contained" true (Cuboid.contains outer outer)
+
+let test_cuboid_contains_point () =
+  let c = Cuboid.of_origin_size (p 0 0 0) ~w:2 ~h:2 ~d:2 in
+  Alcotest.(check bool) "origin inside" true (Cuboid.contains_point c (p 0 0 0));
+  Alcotest.(check bool) "hi corner outside (half-open)" false
+    (Cuboid.contains_point c (p 2 2 2))
+
+let test_cuboid_union () =
+  let a = Cuboid.of_origin_size (p 0 0 0) ~w:1 ~h:1 ~d:1 in
+  let b = Cuboid.of_origin_size (p 4 4 4) ~w:1 ~h:1 ~d:1 in
+  let u = Cuboid.union a b in
+  Alcotest.(check int) "bounding volume" 125 (Cuboid.volume u)
+
+let test_cuboid_intersect () =
+  let a = Cuboid.of_origin_size (p 0 0 0) ~w:4 ~h:4 ~d:4 in
+  let b = Cuboid.of_origin_size (p 2 2 2) ~w:4 ~h:4 ~d:4 in
+  (match Cuboid.intersect a b with
+   | Some i -> Alcotest.(check int) "intersection volume" 8 (Cuboid.volume i)
+   | None -> Alcotest.fail "expected intersection");
+  let far = Cuboid.of_origin_size (p 10 10 10) ~w:1 ~h:1 ~d:1 in
+  Alcotest.(check bool) "disjoint" true (Cuboid.intersect a far = None)
+
+let test_cuboid_inflate_translate () =
+  let c = Cuboid.of_origin_size (p 1 1 1) ~w:1 ~h:1 ~d:1 in
+  let infl = Cuboid.inflate c 1 in
+  Alcotest.(check int) "inflated volume" 27 (Cuboid.volume infl);
+  let t = Cuboid.translate c (p 1 2 3) in
+  Alcotest.check cuboid "translate" (Cuboid.of_origin_size (p 2 3 4) ~w:1 ~h:1 ~d:1) t
+
+let test_cuboid_bounding () =
+  Alcotest.(check bool) "empty list" true (Cuboid.bounding [] = None);
+  let cs =
+    [ Cuboid.of_origin_size (p 0 0 0) ~w:1 ~h:1 ~d:1;
+      Cuboid.of_origin_size (p 2 0 0) ~w:1 ~h:1 ~d:1;
+      Cuboid.of_origin_size (p 0 0 3) ~w:1 ~h:1 ~d:1 ]
+  in
+  match Cuboid.bounding cs with
+  | Some b ->
+      let d, w, h = Cuboid.dims b in
+      Alcotest.(check (list int)) "bounding dims" [ 3; 1; 4 ] [ d; w; h ]
+  | None -> Alcotest.fail "expected bounding box"
+
+let gen_cuboid =
+  QCheck.Gen.(
+    map
+      (fun (x, y, z, d, w, h) ->
+        Cuboid.of_origin_size (p x y z) ~w:(w + 1) ~h:(h + 1) ~d:(d + 1))
+      (tup6 (int_range (-10) 10) (int_range (-10) 10) (int_range (-10) 10)
+         (int_bound 6) (int_bound 6) (int_bound 6)))
+
+let arb_cuboid = QCheck.make gen_cuboid
+
+let prop_union_contains =
+  QCheck.Test.make ~name:"union contains both operands" ~count:300
+    (QCheck.pair arb_cuboid arb_cuboid)
+    (fun (a, b) ->
+      let u = Cuboid.union a b in
+      Cuboid.contains u a && Cuboid.contains u b)
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"overlap is symmetric" ~count:300
+    (QCheck.pair arb_cuboid arb_cuboid)
+    (fun (a, b) -> Cuboid.overlaps a b = Cuboid.overlaps b a)
+
+let prop_intersect_overlap_consistent =
+  QCheck.Test.make ~name:"intersection exists iff overlapping" ~count:300
+    (QCheck.pair arb_cuboid arb_cuboid)
+    (fun (a, b) -> Cuboid.overlaps a b = (Cuboid.intersect a b <> None))
+
+let prop_intersection_within =
+  QCheck.Test.make ~name:"intersection contained in both" ~count:300
+    (QCheck.pair arb_cuboid arb_cuboid)
+    (fun (a, b) ->
+      match Cuboid.intersect a b with
+      | None -> true
+      | Some i -> Cuboid.contains a i && Cuboid.contains b i)
+
+let prop_manhattan_triangle =
+  let gen_p =
+    QCheck.Gen.(map (fun (x, y, z) -> p x y z)
+                  (tup3 (int_range (-50) 50) (int_range (-50) 50) (int_range (-50) 50)))
+  in
+  QCheck.Test.make ~name:"manhattan triangle inequality" ~count:300
+    (QCheck.make QCheck.Gen.(tup3 gen_p gen_p gen_p))
+    (fun (a, b, c) -> Point3.manhattan a c <= Point3.manhattan a b + Point3.manhattan b c)
+
+let suites =
+  [ ( "geom.point3",
+      [ Alcotest.test_case "arith" `Quick test_point_arith;
+        Alcotest.test_case "manhattan" `Quick test_manhattan;
+        Alcotest.test_case "neighbors" `Quick test_neighbors;
+        Alcotest.test_case "compare" `Quick test_compare_total_order;
+        QCheck_alcotest.to_alcotest prop_manhattan_triangle ] );
+    ( "geom.cuboid",
+      [ Alcotest.test_case "volume" `Quick test_cuboid_volume;
+        Alcotest.test_case "overlap" `Quick test_cuboid_overlap;
+        Alcotest.test_case "contains" `Quick test_cuboid_contains;
+        Alcotest.test_case "contains point" `Quick test_cuboid_contains_point;
+        Alcotest.test_case "union" `Quick test_cuboid_union;
+        Alcotest.test_case "intersect" `Quick test_cuboid_intersect;
+        Alcotest.test_case "inflate/translate" `Quick test_cuboid_inflate_translate;
+        Alcotest.test_case "bounding" `Quick test_cuboid_bounding;
+        QCheck_alcotest.to_alcotest prop_union_contains;
+        QCheck_alcotest.to_alcotest prop_overlap_symmetric;
+        QCheck_alcotest.to_alcotest prop_intersect_overlap_consistent;
+        QCheck_alcotest.to_alcotest prop_intersection_within ] ) ]

@@ -1,0 +1,113 @@
+(* Cross-module integration tests: parse → decompose → simulate → compress →
+   validate, on circuits that exercise several libraries at once. *)
+
+open Tqec_circuit
+module Flow = Tqec_core.Flow
+
+let fast =
+  Flow.scale_options ~sa_iterations:1200 ~route_iterations:15 Flow.default_options
+
+let test_real_file_to_flow () =
+  let text =
+    ".version 2.0\n.numvars 4\n.variables a b c d\n.begin\nt3 a b c\nt2 c d\nt1 a\n.end\n"
+  in
+  let circuit = Real_parser.of_string ~name:"integration" text in
+  let flow = Flow.run ~options:fast circuit in
+  (match Flow.validate flow with Ok () -> () | Error e -> Alcotest.fail e);
+  (* One Toffoli -> 7 T gadgets; stats must reflect it. *)
+  Alcotest.(check int) "|A> count" 7 flow.Flow.stats.Tqec_icm.Stats.n_a;
+  Alcotest.(check int) "|Y> count" 14 flow.Flow.stats.Tqec_icm.Stats.n_y
+
+let test_parsed_circuit_simulates_correctly () =
+  (* t3 a b c; t2 c d: check the classical truth table via the simulator. *)
+  let text = ".numvars 4\n.variables a b c d\n.begin\nt3 a b c\nt2 c d\n.end\n" in
+  let circuit = Real_parser.of_string ~name:"sim-check" text in
+  let reference input =
+    let a = input land 1 and b = (input lsr 1) land 1 in
+    let c = (input lsr 2) land 1 and d = (input lsr 3) land 1 in
+    let c' = c lxor (a land b) in
+    let d' = d lxor c' in
+    a lor (b lsl 1) lor (c' lsl 2) lor (d' lsl 3)
+  in
+  for input = 0 to 15 do
+    let st = Semantics.run_on_basis circuit input in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "input %d" input)
+      1.0
+      (Complex.norm (Tqec_sim.State.amplitude st (reference input)))
+  done
+
+let test_decomposed_parsed_circuit_equivalent () =
+  let text = ".numvars 3\n.variables a b c\n.begin\nt3 a b c\nt2 a b\n.end\n" in
+  let circuit = Real_parser.of_string ~name:"equiv" text in
+  Alcotest.(check bool) "decomposition preserves semantics" true
+    (Semantics.equivalent circuit (Decompose.circuit circuit))
+
+let test_flow_volume_consistency () =
+  (* dims and volume of the flow agree with the routing result. *)
+  let circuit =
+    Circuit.make ~name:"consistency" ~num_qubits:3
+      [ Gate.T 0; Gate.Cnot { control = 0; target = 1 };
+        Gate.Cnot { control = 1; target = 2 } ]
+  in
+  let flow = Flow.run ~options:fast circuit in
+  let w, h, d = flow.Flow.dims in
+  let rd, rw, rh = flow.Flow.routing.Tqec_route.Router.dims in
+  Alcotest.(check (list int)) "dims transposed from routing" [ rw; rh; rd ] [ w; h; d ];
+  Alcotest.(check int) "volume" flow.Flow.routing.Tqec_route.Router.volume
+    flow.Flow.volume
+
+let test_net_count_equals_routed () =
+  let circuit =
+    Circuit.make ~name:"netcount" ~num_qubits:3
+      [ Gate.Cnot { control = 0; target = 1 }; Gate.Cnot { control = 1; target = 2 } ]
+  in
+  let flow = Flow.run ~options:fast circuit in
+  Alcotest.(check int) "all nets routed" (Flow.num_nets flow)
+    (List.length flow.Flow.routing.Tqec_route.Router.routed)
+
+let test_stats_distillation_volume () =
+  let circuit = Circuit.make ~name:"s" ~num_qubits:2 [ Gate.T 0; Gate.Tdag 1 ] in
+  let stats = Tqec_icm.Stats.of_circuit circuit in
+  Alcotest.(check int) "distillation volume" ((2 * 192) + (4 * 18))
+    (Tqec_icm.Stats.distillation_volume stats)
+
+let test_gate_utilities () =
+  Alcotest.(check (list int)) "toffoli qubits" [ 0; 1; 2 ]
+    (Gate.qubits (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }));
+  Alcotest.(check int) "max qubit" 7
+    (Gate.max_qubit (Gate.Cnot { control = 3; target = 7 }));
+  Alcotest.(check bool) "T is t-type" true (Gate.is_t_type (Gate.T 0));
+  Alcotest.(check bool) "P is not t-type" false (Gate.is_t_type (Gate.P 0));
+  Alcotest.(check string) "print" "CNOT 1 2"
+    (Gate.to_string (Gate.Cnot { control = 1; target = 2 }))
+
+let test_ablation_volumes_ordering () =
+  (* On a mid-sized random circuit, bridging should never hurt the volume
+     by more than noise, and always reduce or keep the net count. *)
+  let gates =
+    List.concat_map
+      (fun i ->
+        [ Gate.Toffoli { c1 = i mod 3; c2 = (i + 1) mod 3; target = 3 };
+          Gate.Cnot { control = 3; target = i mod 3 } ])
+      [ 0; 1 ]
+  in
+  let circuit = Circuit.make ~name:"ablate" ~num_qubits:4 gates in
+  let with_b = Flow.run ~options:fast circuit in
+  let without = Flow.run ~options:{ fast with Flow.bridging = false } circuit in
+  Alcotest.(check bool) "net count monotone" true
+    (Flow.num_nets with_b <= Flow.num_nets without)
+
+let suites =
+  [ ( "integration",
+      [ Alcotest.test_case "real file to flow" `Quick test_real_file_to_flow;
+        Alcotest.test_case "parsed circuit simulates" `Quick
+          test_parsed_circuit_simulates_correctly;
+        Alcotest.test_case "parsed decomposition equivalent" `Quick
+          test_decomposed_parsed_circuit_equivalent;
+        Alcotest.test_case "flow volume consistency" `Quick test_flow_volume_consistency;
+        Alcotest.test_case "net count equals routed" `Quick test_net_count_equals_routed;
+        Alcotest.test_case "stats distillation volume" `Quick
+          test_stats_distillation_volume;
+        Alcotest.test_case "gate utilities" `Quick test_gate_utilities;
+        Alcotest.test_case "ablation ordering" `Quick test_ablation_volumes_ordering ] ) ]

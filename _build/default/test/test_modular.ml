@@ -1,0 +1,160 @@
+open Tqec_circuit
+open Tqec_icm
+open Tqec_modular
+
+(* The paper's running example (Fig. 9): an ICM circuit with three CNOTs on
+   three qubits. Modularization yields six modules and nine dual-defect
+   nets. *)
+let example_icm () =
+  Icm.of_circuit
+    (Circuit.make ~name:"fig9" ~num_qubits:3
+       [ Gate.Cnot { control = 0; target = 1 };
+         Gate.Cnot { control = 1; target = 2 };
+         Gate.Cnot { control = 0; target = 2 } ])
+
+let test_fig9_module_count () =
+  let m = Modular.of_icm (example_icm ()) in
+  Alcotest.(check int) "six modules" 6 (Modular.num_modules m);
+  (match Modular.validate m with Ok () -> () | Error e -> Alcotest.fail e)
+
+let test_loop_penetrations () =
+  let m = Modular.of_icm (example_icm ()) in
+  Array.iter
+    (fun l ->
+      Alcotest.(check int)
+        (Printf.sprintf "loop %d penetrates 3 modules" l.Modular.loop_id)
+        3
+        (List.length l.Modular.penetrations))
+    m.Modular.loops
+
+let test_common_modules () =
+  let m = Modular.of_icm (example_icm ()) in
+  (* Loops 0 (q0->q1) and 1 (q1->q2) share wire 1's module. *)
+  Alcotest.(check (list int)) "loops 0,1 share wire 1" [ 1 ] (Modular.common_modules m 0 1);
+  (* Loops 0 (q0->q1) and 2 (q0->q2) share wire 0's module. *)
+  Alcotest.(check (list int)) "loops 0,2 share wire 0" [ 0 ] (Modular.common_modules m 0 2);
+  (* Loops 1 and 2 share wire 2's module. *)
+  Alcotest.(check (list int)) "loops 1,2 share wire 2" [ 2 ] (Modular.common_modules m 1 2)
+
+let test_relative_loops () =
+  let m = Modular.of_icm (example_icm ()) in
+  Alcotest.(check (list int)) "loop 0 relatives" [ 1; 2 ] (Modular.relative_loops m 0);
+  Alcotest.(check (list int)) "loop 1 relatives" [ 0; 2 ] (Modular.relative_loops m 1)
+
+let test_module_kinds_and_dims () =
+  let m = Modular.of_icm (example_icm ()) in
+  let wires, crossings, boxes =
+    Array.fold_left
+      (fun (w, c, b) md ->
+        match md.Modular.kind with
+        | Modular.Wire_module _ -> (w + 1, c, b)
+        | Modular.Cross_module _ -> (w, c + 1, b)
+        | Modular.Y_box _ | Modular.A_box _ -> (w, c, b + 1))
+      (0, 0, 0) m.Modular.modules
+  in
+  Alcotest.(check (list int)) "kind histogram" [ 3; 3; 0 ] [ wires; crossings; boxes ]
+
+let test_box_modules_for_t_gadget () =
+  let icm =
+    Icm.of_circuit (Circuit.make ~name:"t" ~num_qubits:2 [ Gate.T 0 ])
+  in
+  let m = Modular.of_icm icm in
+  (* 8 wires + 7 crossings + 3 boxes. *)
+  Alcotest.(check int) "18 modules" 18 (Modular.num_modules m);
+  let y_boxes, a_boxes =
+    Array.fold_left
+      (fun (y, a) md ->
+        match md.Modular.kind with
+        | Modular.Y_box _ -> (y + 1, a)
+        | Modular.A_box _ -> (y, a + 1)
+        | Modular.Wire_module _ | Modular.Cross_module _ -> (y, a))
+      (0, 0) m.Modular.modules
+  in
+  Alcotest.(check int) "2 Y boxes" 2 y_boxes;
+  Alcotest.(check int) "1 A box" 1 a_boxes;
+  (* Box volumes match the optimized distillation circuits. *)
+  Array.iter
+    (fun md ->
+      match md.Modular.kind with
+      | Modular.Y_box _ -> Alcotest.(check int) "Y box volume" 18 (Modular.module_volume md)
+      | Modular.A_box _ -> Alcotest.(check int) "A box volume" 192 (Modular.module_volume md)
+      | Modular.Wire_module _ | Modular.Cross_module _ -> ())
+    m.Modular.modules
+
+let test_table1_module_counts () =
+  (* #Modules = qubits_d + cnots + boxes must hit Table I (up to the paper's
+     own off-by-one rows; see EXPERIMENTS.md). *)
+  let check name expected =
+    let spec = Option.get (Benchmarks.find name) in
+    let c = Benchmarks.generate spec in
+    let icm = Icm.of_circuit (Decompose.circuit c) in
+    let m = Modular.of_icm icm in
+    Alcotest.(check int) (name ^ " modules") expected (Modular.num_modules m)
+  in
+  check "4gt10-v1_81" 362;
+  check "4gt4-v0_73" 724;
+  check "rd84_142" 2500;
+  check "hwb5_53" 3687;
+  check "sym6_145" 4255;
+  check "ham15_107" 10560
+
+let test_pin_faces () =
+  let m = Modular.of_icm (example_icm ()) in
+  (* Every pin pair of a penetration sits on opposite width faces. *)
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun pen ->
+          let pa = m.Modular.pins.(pen.Modular.pin_a) in
+          let pb = m.Modular.pins.(pen.Modular.pin_b) in
+          let _, w, _ = m.Modular.modules.(pen.Modular.pmodule).Modular.dims in
+          let ya = pa.Modular.offset.Tqec_geom.Point3.y in
+          let yb = pb.Modular.offset.Tqec_geom.Point3.y in
+          Alcotest.(check bool) "opposite faces" true
+            ((ya = 0 && yb = w - 1) || (ya = w - 1 && yb = 0)))
+        l.Modular.penetrations)
+    m.Modular.loops
+
+let test_wire_module_grows_with_degree () =
+  let icm =
+    Icm.of_circuit
+      (Circuit.make ~name:"deg" ~num_qubits:3
+         (List.init 5 (fun _ -> Gate.Cnot { control = 0; target = 1 })))
+  in
+  let m = Modular.of_icm icm in
+  let d0, _, _ = m.Modular.modules.(0).Modular.dims in
+  let d2, _, _ = m.Modular.modules.(2).Modular.dims in
+  Alcotest.(check int) "wire 0 holds 5 segments" 6 d0;
+  Alcotest.(check int) "wire 2 minimal" 2 d2
+
+let prop_modular_validates =
+  QCheck.Test.make ~name:"modularization of random ICM validates" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 25) (int_bound 4))
+    (fun ops ->
+      let gates =
+        List.map
+          (fun op ->
+            match op with
+            | 0 -> Gate.Cnot { control = 0; target = 1 }
+            | 1 -> Gate.Cnot { control = 1; target = 2 }
+            | 2 -> Gate.T 0
+            | 3 -> Gate.Cnot { control = 2; target = 0 }
+            | _ -> Gate.T 2)
+          ops
+      in
+      let icm = Icm.of_circuit (Circuit.make ~name:"rand" ~num_qubits:3 gates) in
+      let m = Modular.of_icm icm in
+      Modular.validate m = Ok ())
+
+let suites =
+  [ ( "modular",
+      [ Alcotest.test_case "Fig.9 module count" `Quick test_fig9_module_count;
+        Alcotest.test_case "loop penetrations" `Quick test_loop_penetrations;
+        Alcotest.test_case "common modules" `Quick test_common_modules;
+        Alcotest.test_case "relative loops" `Quick test_relative_loops;
+        Alcotest.test_case "module kinds" `Quick test_module_kinds_and_dims;
+        Alcotest.test_case "T gadget boxes" `Quick test_box_modules_for_t_gadget;
+        Alcotest.test_case "Table I module counts" `Quick test_table1_module_counts;
+        Alcotest.test_case "pin faces" `Quick test_pin_faces;
+        Alcotest.test_case "wire degree sizing" `Quick test_wire_module_grows_with_degree;
+        QCheck_alcotest.to_alcotest prop_modular_validates ] ) ]

@@ -1,0 +1,151 @@
+open Tqec_prelude
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_distinct_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_split_decorrelated () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr matches
+  done;
+  Alcotest.(check bool) "split streams differ" true (!matches < 4)
+
+let test_rng_copy () =
+  let a = Rng.create 11 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_heap_order () =
+  let h = Binheap.create () in
+  List.iter (fun k -> Binheap.push h ~key:k (string_of_int k)) [ 3; 1; 4; 1; 5; 9; 2; 6 ];
+  let keys = ref [] in
+  let rec drain () =
+    match Binheap.pop h with
+    | None -> ()
+    | Some (k, _) ->
+        keys := k :: !keys;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "descending" [ 9; 6; 5; 4; 3; 2; 1; 1 ] (List.rev !keys)
+
+let test_heap_empty () =
+  let h : unit Binheap.t = Binheap.create () in
+  Alcotest.(check bool) "empty" true (Binheap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Binheap.pop h = None)
+
+let test_heap_peek () =
+  let h = Binheap.create () in
+  Binheap.push h ~key:2 "two";
+  Binheap.push h ~key:7 "seven";
+  (match Binheap.peek h with
+   | Some (7, "seven") -> ()
+   | _ -> Alcotest.fail "peek should be the max");
+  Alcotest.(check int) "size unchanged" 2 (Binheap.size h)
+
+let test_heap_clear () =
+  let h = Binheap.create () in
+  Binheap.push h ~key:1 ();
+  Binheap.clear h;
+  Alcotest.(check bool) "cleared" true (Binheap.is_empty h)
+
+let heap_property =
+  QCheck.Test.make ~name:"heap pops keys in non-increasing order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Binheap.create () in
+      List.iter (fun k -> Binheap.push h ~key:k k) keys;
+      let rec drain acc =
+        match Binheap.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+      in
+      let out = drain [] in
+      out = List.sort (fun a b -> Int.compare b a) keys)
+
+let test_uf_basic () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial count" 5 (Union_find.count uf);
+  Alcotest.(check bool) "union works" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "redundant union" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same set" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "different set" false (Union_find.same uf 0 2);
+  Alcotest.(check int) "count after one union" 4 (Union_find.count uf)
+
+let test_uf_transitive () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  ignore (Union_find.union uf 3 4);
+  Alcotest.(check bool) "transitively joined" true (Union_find.same uf 0 2);
+  Alcotest.(check bool) "separate component" false (Union_find.same uf 0 3);
+  Alcotest.(check int) "three components" 3 (Union_find.count uf)
+
+let uf_property =
+  QCheck.Test.make ~name:"union-find component count is n - effective unions" ~count:200
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      let effective = List.fold_left (fun acc (a, b) ->
+        if Union_find.union uf a b then acc + 1 else acc) 0 pairs
+      in
+      Union_find.count uf = 20 - effective)
+
+let test_stopwatch () =
+  let (), dt = Stopwatch.time (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
+  Alcotest.(check bool) "non-negative" true (dt >= 0.0)
+
+let suites =
+  [ ( "prelude.rng",
+      [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "distinct seeds" `Quick test_rng_distinct_seeds;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "split decorrelated" `Quick test_rng_split_decorrelated;
+        Alcotest.test_case "copy" `Quick test_rng_copy;
+        Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation ] );
+    ( "prelude.binheap",
+      [ Alcotest.test_case "order" `Quick test_heap_order;
+        Alcotest.test_case "empty" `Quick test_heap_empty;
+        Alcotest.test_case "peek" `Quick test_heap_peek;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+        QCheck_alcotest.to_alcotest heap_property ] );
+    ( "prelude.union_find",
+      [ Alcotest.test_case "basic" `Quick test_uf_basic;
+        Alcotest.test_case "transitive" `Quick test_uf_transitive;
+        QCheck_alcotest.to_alcotest uf_property ] );
+    ("prelude.stopwatch", [ Alcotest.test_case "time" `Quick test_stopwatch ]) ]

@@ -1,0 +1,72 @@
+open Tqec_circuit
+open Tqec_icm
+
+let icm_of gates ~n = Icm.of_circuit (Circuit.make ~name:"t" ~num_qubits:n gates)
+
+let test_no_recycling_possible () =
+  (* Two data wires, both live throughout: two tracks. *)
+  let icm = icm_of ~n:2 [ Gate.Cnot { control = 0; target = 1 } ] in
+  let r = Recycle.analyze icm in
+  Alcotest.(check int) "two tracks" 2 r.Recycle.tracks;
+  Alcotest.(check int) "nothing saved" 0 (Recycle.saved_rows r);
+  match Recycle.validate icm r with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_t_gadget_recycles () =
+  (* A T gadget retires five of its six wires after the gadget; with two
+     consecutive gadgets the second reuses the first's rows. *)
+  let icm = icm_of ~n:2 [ Gate.T 0; Gate.T 0 ] in
+  let r = Recycle.analyze icm in
+  Alcotest.(check int) "wires" 14 r.Recycle.wires;
+  Alcotest.(check bool)
+    (Printf.sprintf "tracks %d < wires 14" r.Recycle.tracks)
+    true (r.Recycle.tracks < 14);
+  (match Recycle.validate icm r with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "tracks = peak liveness" r.Recycle.max_live r.Recycle.tracks
+
+let test_recycled_volume_smaller () =
+  let icm = icm_of ~n:2 [ Gate.T 0; Gate.T 0; Gate.T 0 ] in
+  let r = Recycle.analyze icm in
+  let canonical = Tqec_canonical.Canonical.of_icm icm in
+  Alcotest.(check bool) "recycled canonical volume smaller" true
+    (Recycle.recycled_canonical_volume icm r < Tqec_canonical.Canonical.volume canonical)
+
+let test_benchmark_recycling_ratio () =
+  (* On 4gt10 the 21 sequential T gadgets free most rows: expect tracks to be
+     well under half the 131 wires. *)
+  let spec = Option.get (Benchmarks.find "4gt10-v1_81") in
+  let icm = Icm.of_circuit (Decompose.circuit (Benchmarks.generate spec)) in
+  let r = Recycle.analyze icm in
+  Alcotest.(check int) "wires 131" 131 r.Recycle.wires;
+  Alcotest.(check bool)
+    (Printf.sprintf "tracks %d <= 70" r.Recycle.tracks)
+    true (r.Recycle.tracks <= 70);
+  match Recycle.validate icm r with Ok () -> () | Error e -> Alcotest.fail e
+
+let prop_tracks_bounds =
+  QCheck.Test.make ~name:"peak liveness <= tracks <= wires" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (int_bound 4))
+    (fun ops ->
+      let gates =
+        List.map
+          (fun op ->
+            match op with
+            | 0 -> Gate.Cnot { control = 0; target = 1 }
+            | 1 -> Gate.T 0
+            | 2 -> Gate.T 1
+            | 3 -> Gate.Cnot { control = 1; target = 2 }
+            | _ -> Gate.T 2)
+          ops
+      in
+      let icm = icm_of ~n:3 gates in
+      let r = Recycle.analyze icm in
+      r.Recycle.max_live <= r.Recycle.tracks
+      && r.Recycle.tracks <= r.Recycle.wires
+      && Recycle.validate icm r = Ok ())
+
+let suites =
+  [ ( "icm.recycle",
+      [ Alcotest.test_case "no recycling" `Quick test_no_recycling_possible;
+        Alcotest.test_case "T gadget recycles" `Quick test_t_gadget_recycles;
+        Alcotest.test_case "recycled volume" `Quick test_recycled_volume_smaller;
+        Alcotest.test_case "benchmark ratio" `Quick test_benchmark_recycling_ratio;
+        QCheck_alcotest.to_alcotest prop_tracks_bounds ] ) ]

@@ -1,0 +1,77 @@
+open Tqec_circuit
+open Tqec_place
+
+let setup gates ~n =
+  let icm = Tqec_icm.Icm.of_circuit (Circuit.make ~name:"t" ~num_qubits:n gates) in
+  let m = Tqec_modular.Modular.of_icm icm in
+  let bridge = Tqec_bridge.Bridge.run m in
+  let cl = Cluster.build m in
+  let cfg =
+    { Place25d.default_config with
+      Place25d.tiers = Some 2;
+      sa = { Sa.default_params with Sa.iterations = 800 } }
+  in
+  let p = Place25d.place cfg cl bridge.Tqec_bridge.Bridge.nets in
+  (p, bridge.Tqec_bridge.Bridge.nets)
+
+let gates =
+  [ Gate.Cnot { control = 0; target = 1 };
+    Gate.T 0;
+    Gate.Cnot { control = 1; target = 2 };
+    Gate.Cnot { control = 2; target = 0 } ]
+
+let test_refine_improves_wirelength () =
+  let p, nets = setup gates ~n:3 in
+  let refined, stats = Refine.refine p nets in
+  Alcotest.(check bool) "monotone" true
+    (stats.Refine.wirelength_after <= stats.Refine.wirelength_before);
+  Alcotest.(check int) "reported wirelength matches placement"
+    refined.Place25d.wirelength stats.Refine.wirelength_after
+
+let test_refine_keeps_layout_legal () =
+  let p, nets = setup gates ~n:3 in
+  let refined, _ = Refine.refine p nets in
+  (match Place25d.check_no_overlap refined with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  match Place25d.check_time_ordering refined with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_refine_never_grows_volume () =
+  let p, nets = setup gates ~n:3 in
+  let refined, _ = Refine.refine p nets in
+  (* Positions stay inside the original envelope, so module boxes cannot
+     extend the original dims. *)
+  let envelope =
+    let d, w, h = p.Place25d.dims in
+    Tqec_geom.Cuboid.of_origin_size Tqec_geom.Point3.zero ~w ~h ~d
+  in
+  Array.iteri
+    (fun m _ ->
+      Alcotest.(check bool) "module inside envelope" true
+        (Tqec_geom.Cuboid.contains envelope (Place25d.module_box refined m)))
+    refined.Place25d.module_pos
+
+let test_refine_terminates () =
+  let p, nets = setup gates ~n:3 in
+  let _, stats = Refine.refine ~max_sweeps:3 p nets in
+  Alcotest.(check bool) "bounded sweeps" true (stats.Refine.sweeps <= 3)
+
+let test_refined_layout_still_routes () =
+  let p, nets = setup gates ~n:3 in
+  let refined, _ = Refine.refine p nets in
+  let r = Tqec_route.Router.route Tqec_route.Router.default_config refined nets in
+  Alcotest.(check int) "all nets routed after refinement" (List.length nets)
+    (List.length r.Tqec_route.Router.routed);
+  match Tqec_route.Router.validate refined r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let suites =
+  [ ( "place.refine",
+      [ Alcotest.test_case "improves wirelength" `Quick test_refine_improves_wirelength;
+        Alcotest.test_case "keeps layout legal" `Quick test_refine_keeps_layout_legal;
+        Alcotest.test_case "never grows volume" `Quick test_refine_never_grows_volume;
+        Alcotest.test_case "terminates" `Quick test_refine_terminates;
+        Alcotest.test_case "still routes" `Quick test_refined_layout_still_routes ] ) ]

@@ -1,0 +1,178 @@
+open Tqec_circuit
+open Tqec_geom
+module Grid = Tqec_route.Grid
+module Router = Tqec_route.Router
+module Bridge = Tqec_bridge.Bridge
+
+(* --- grid --- *)
+
+let p = Point3.make
+
+let test_grid_block_unblock () =
+  let g = Grid.create ~lo:(p 0 0 0) ~hi:(p 4 4 4) in
+  Alcotest.(check bool) "initially free" false (Grid.blocked g (p 1 1 1));
+  Grid.block g (p 1 1 1);
+  Alcotest.(check bool) "blocked" true (Grid.blocked g (p 1 1 1));
+  Grid.unblock g (p 1 1 1);
+  Alcotest.(check bool) "unblocked" false (Grid.blocked g (p 1 1 1))
+
+let test_grid_out_of_bounds () =
+  let g = Grid.create ~lo:(p 0 0 0) ~hi:(p 2 2 2) in
+  Alcotest.(check bool) "outside is blocked" true (Grid.blocked g (p 5 0 0));
+  Alcotest.(check bool) "negative is blocked" true (Grid.blocked g (p (-1) 0 0))
+
+let test_grid_block_box () =
+  let g = Grid.create ~lo:(p 0 0 0) ~hi:(p 6 6 6) in
+  Grid.block_box g (Cuboid.of_origin_size (p 1 1 1) ~w:2 ~h:2 ~d:2);
+  Alcotest.(check bool) "inside blocked" true (Grid.blocked g (p 2 2 2));
+  Alcotest.(check bool) "outside free" false (Grid.blocked g (p 4 4 4))
+
+let test_grid_negative_origin () =
+  let g = Grid.create ~lo:(p (-3) (-3) (-3)) ~hi:(p 3 3 3) in
+  Grid.block g (p (-2) (-2) (-2));
+  Alcotest.(check bool) "negative coords work" true (Grid.blocked g (p (-2) (-2) (-2)));
+  Alcotest.(check bool) "origin free" false (Grid.blocked g (p 0 0 0))
+
+let test_grid_encode_decode () =
+  let g = Grid.create ~lo:(p (-2) (-1) 0) ~hi:(p 3 4 5) in
+  let ok = ref true in
+  for c = 0 to Grid.size g - 1 do
+    if Grid.encode g (Grid.decode g c) <> c then ok := false
+  done;
+  Alcotest.(check bool) "encode/decode roundtrip" true !ok
+
+(* --- router on real flows --- *)
+
+let routed_flow ?(friend_aware = true) ?(bridging = true) gates ~n =
+  let icm = Tqec_icm.Icm.of_circuit (Circuit.make ~name:"t" ~num_qubits:n gates) in
+  let m = Tqec_modular.Modular.of_icm icm in
+  let nets = if bridging then (Bridge.run m).Bridge.nets else Bridge.naive_nets m in
+  let cl = Tqec_place.Cluster.build m in
+  let cfg =
+    { Tqec_place.Place25d.default_config with
+      Tqec_place.Place25d.tiers = Some 2;
+      sa = { Tqec_place.Sa.default_params with Tqec_place.Sa.iterations = 1500 } }
+  in
+  let placement = Tqec_place.Place25d.place cfg cl nets in
+  let rcfg = { Router.default_config with Router.friend_aware } in
+  (placement, nets, Router.route rcfg placement nets)
+
+let gates_small =
+  [ Gate.Cnot { control = 0; target = 1 };
+    Gate.Cnot { control = 1; target = 2 };
+    Gate.Cnot { control = 0; target = 2 } ]
+
+let test_route_all_nets () =
+  let placement, nets, r = routed_flow gates_small ~n:3 in
+  Alcotest.(check int) "no failures" 0 (List.length r.Router.failed);
+  Alcotest.(check int) "all routed" (List.length nets) (List.length r.Router.routed);
+  match Router.validate placement r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_route_paths_avoid_modules () =
+  let placement, _, r = routed_flow gates_small ~n:3 in
+  let modular = placement.Tqec_place.Place25d.cluster.Tqec_place.Cluster.modular in
+  let boxes =
+    Array.to_list modular.Tqec_modular.Modular.modules
+    |> List.map (fun md ->
+           Tqec_place.Place25d.module_box placement md.Tqec_modular.Modular.module_id)
+  in
+  let pins =
+    List.concat_map
+      (fun rn ->
+        [ Tqec_place.Place25d.pin_position placement rn.Router.net.Bridge.pin_a;
+          Tqec_place.Place25d.pin_position placement rn.Router.net.Bridge.pin_b ])
+      r.Router.routed
+  in
+  (* Interior path cells never sit inside a module; endpoints may (pins). *)
+  List.iter
+    (fun rn ->
+      match rn.Router.path with
+      | [] | [ _ ] -> ()
+      | _ :: interior_and_last ->
+          let interior = List.filteri (fun i _ -> i < List.length interior_and_last - 1) interior_and_last in
+          List.iter
+            (fun cell ->
+              if not (List.exists (Point3.equal cell) pins) then
+                List.iter
+                  (fun box ->
+                    if Cuboid.contains_point box cell then
+                      Alcotest.fail
+                        (Printf.sprintf "net %d interior cell %s inside a module"
+                           rn.Router.net.Bridge.net_id (Point3.to_string cell)))
+                  boxes)
+            interior)
+    r.Router.routed
+
+let test_route_deterministic () =
+  let _, _, r1 = routed_flow gates_small ~n:3 in
+  let _, _, r2 = routed_flow gates_small ~n:3 in
+  Alcotest.(check int) "same volume" r1.Router.volume r2.Router.volume;
+  Alcotest.(check int) "same routed count" (List.length r1.Router.routed)
+    (List.length r2.Router.routed)
+
+let test_route_t_gadget () =
+  let placement, nets, r = routed_flow [ Gate.T 0 ] ~n:2 in
+  Alcotest.(check int) "all nets routed" (List.length nets) (List.length r.Router.routed);
+  match Router.validate placement r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_route_friend_toggle () =
+  (* Friend-aware routing must stay valid and never route fewer nets. *)
+  let _, nets_f, rf = routed_flow ~friend_aware:true [ Gate.T 0 ] ~n:2 in
+  let _, _, rn = routed_flow ~friend_aware:false [ Gate.T 0 ] ~n:2 in
+  Alcotest.(check int) "friend: all routed" (List.length nets_f)
+    (List.length rf.Router.routed);
+  Alcotest.(check int) "no-friend: all routed" (List.length nets_f)
+    (List.length rn.Router.routed)
+
+let test_route_volume_covers_placement () =
+  let placement, _, r = routed_flow gates_small ~n:3 in
+  Alcotest.(check bool) "routed volume >= placed volume" true
+    (r.Router.volume >= placement.Tqec_place.Place25d.volume)
+
+let test_route_without_bridging () =
+  let placement, nets, r = routed_flow ~bridging:false gates_small ~n:3 in
+  Alcotest.(check int) "9 naive nets" 9 (List.length nets);
+  Alcotest.(check int) "all routed" 9 (List.length r.Router.routed);
+  match Router.validate placement r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let prop_route_random_circuits_valid =
+  QCheck.Test.make ~name:"routing validates on random circuits" ~count:8
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_bound 4))
+    (fun ops ->
+      let gates =
+        List.map
+          (fun op ->
+            match op with
+            | 0 -> Gate.Cnot { control = 0; target = 1 }
+            | 1 -> Gate.Cnot { control = 1; target = 2 }
+            | 2 -> Gate.T 1
+            | 3 -> Gate.Cnot { control = 2; target = 0 }
+            | _ -> Gate.T 0)
+          ops
+      in
+      let placement, _, r = routed_flow gates ~n:3 in
+      r.Router.failed = [] && Router.validate placement r = Ok ())
+
+let suites =
+  [ ( "route.grid",
+      [ Alcotest.test_case "block/unblock" `Quick test_grid_block_unblock;
+        Alcotest.test_case "out of bounds" `Quick test_grid_out_of_bounds;
+        Alcotest.test_case "block box" `Quick test_grid_block_box;
+        Alcotest.test_case "negative origin" `Quick test_grid_negative_origin;
+        Alcotest.test_case "encode/decode" `Quick test_grid_encode_decode ] );
+    ( "route.router",
+      [ Alcotest.test_case "routes all nets" `Quick test_route_all_nets;
+        Alcotest.test_case "avoids modules" `Quick test_route_paths_avoid_modules;
+        Alcotest.test_case "deterministic" `Quick test_route_deterministic;
+        Alcotest.test_case "T gadget" `Quick test_route_t_gadget;
+        Alcotest.test_case "friend toggle" `Quick test_route_friend_toggle;
+        Alcotest.test_case "volume covers placement" `Quick
+          test_route_volume_covers_placement;
+        Alcotest.test_case "without bridging" `Quick test_route_without_bridging;
+        QCheck_alcotest.to_alcotest prop_route_random_circuits_valid ] ) ]

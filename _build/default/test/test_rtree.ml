@@ -1,0 +1,115 @@
+open Tqec_geom
+module Rtree = Tqec_rtree.Rtree
+
+let p = Point3.make
+let unit_box x y z = Cuboid.of_origin_size (p x y z) ~w:1 ~h:1 ~d:1
+
+let test_insert_search () =
+  let t = Rtree.create () in
+  Rtree.insert t (unit_box 0 0 0) "a";
+  Rtree.insert t (unit_box 5 5 5) "b";
+  Alcotest.(check int) "length" 2 (Rtree.length t);
+  let hits = Rtree.search t (Cuboid.of_origin_size (p 0 0 0) ~w:2 ~h:2 ~d:2) in
+  Alcotest.(check (list string)) "finds a" [ "a" ] (List.map snd hits)
+
+let test_any_overlap () =
+  let t = Rtree.create () in
+  Rtree.insert t (unit_box 3 3 3) ();
+  Alcotest.(check bool) "hit" true
+    (Rtree.any_overlap t (Cuboid.of_origin_size (p 2 2 2) ~w:3 ~h:3 ~d:3));
+  Alcotest.(check bool) "miss" false
+    (Rtree.any_overlap t (Cuboid.of_origin_size (p 10 10 10) ~w:1 ~h:1 ~d:1))
+
+let test_many_inserts () =
+  let t = Rtree.create () in
+  for x = 0 to 9 do
+    for y = 0 to 9 do
+      for z = 0 to 4 do
+        Rtree.insert t (unit_box (2 * x) (2 * y) (2 * z)) ((x, y, z))
+      done
+    done
+  done;
+  Alcotest.(check int) "500 entries" 500 (Rtree.length t);
+  (* Query a 4-cell strip: exactly 2 disjoint unit boxes overlap it. *)
+  let hits = Rtree.search t (Cuboid.of_origin_size (p 0 0 0) ~w:1 ~h:1 ~d:4) in
+  Alcotest.(check int) "strip hits" 2 (List.length hits);
+  Alcotest.(check bool) "reasonably balanced" true (Rtree.depth t <= 6)
+
+let test_remove () =
+  let t = Rtree.create () in
+  Rtree.insert t (unit_box 0 0 0) 1;
+  Rtree.insert t (unit_box 0 0 0) 2;
+  Rtree.insert t (unit_box 1 0 0) 3;
+  Alcotest.(check bool) "removed" true (Rtree.remove t (unit_box 0 0 0) (fun v -> v = 1));
+  Alcotest.(check int) "length after" 2 (Rtree.length t);
+  let hits = Rtree.search t (unit_box 0 0 0) in
+  Alcotest.(check (list int)) "value 2 remains" [ 2 ] (List.map snd hits);
+  Alcotest.(check bool) "missing remove" false
+    (Rtree.remove t (unit_box 9 9 9) (fun _ -> true))
+
+let test_remove_many () =
+  let t = Rtree.create () in
+  for i = 0 to 63 do
+    Rtree.insert t (unit_box i 0 0) i
+  done;
+  for i = 0 to 31 do
+    Alcotest.(check bool) "removed" true (Rtree.remove t (unit_box (2 * i) 0 0) (fun v -> v = 2 * i))
+  done;
+  Alcotest.(check int) "half remain" 32 (Rtree.length t);
+  for i = 0 to 63 do
+    let expect = i mod 2 = 1 in
+    Alcotest.(check bool) "membership" expect (Rtree.any_overlap t (unit_box i 0 0))
+  done
+
+let test_fold () =
+  let t = Rtree.create () in
+  for i = 1 to 10 do
+    Rtree.insert t (unit_box i 0 0) i
+  done;
+  let sum = Rtree.fold t ~init:0 ~f:(fun acc _ v -> acc + v) in
+  Alcotest.(check int) "fold sums values" 55 sum
+
+(* Property: R-tree search agrees with a brute-force scan. *)
+let prop_search_matches_bruteforce =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 80)
+        (map
+           (fun (x, y, z, d, w, h) -> Cuboid.of_origin_size (p x y z) ~w:(w + 1) ~h:(h + 1) ~d:(d + 1))
+           (tup6 (int_range 0 20) (int_range 0 20) (int_range 0 20) (int_bound 4)
+              (int_bound 4) (int_bound 4))))
+  in
+  QCheck.Test.make ~name:"rtree search = brute force" ~count:100 (QCheck.make gen)
+    (fun boxes ->
+      let t = Rtree.create () in
+      List.iteri (fun i b -> Rtree.insert t b i) boxes;
+      let query = Cuboid.of_origin_size (p 8 8 8) ~w:6 ~h:6 ~d:6 in
+      let expected =
+        List.mapi (fun i b -> (i, b)) boxes
+        |> List.filter (fun (_, b) -> Cuboid.overlaps b query)
+        |> List.map fst |> List.sort Int.compare
+      in
+      let got = Rtree.search t query |> List.map snd |> List.sort Int.compare in
+      expected = got)
+
+let prop_insert_then_remove_roundtrip =
+  let gen = QCheck.Gen.(list_size (int_range 1 40) (tup3 (int_bound 10) (int_bound 10) (int_bound 10))) in
+  QCheck.Test.make ~name:"insert then remove all leaves empty" ~count:100 (QCheck.make gen)
+    (fun coords ->
+      let t = Rtree.create () in
+      List.iteri (fun i (x, y, z) -> Rtree.insert t (unit_box x y z) i) coords;
+      List.iteri
+        (fun i (x, y, z) -> ignore (Rtree.remove t (unit_box x y z) (fun v -> v = i)))
+        coords;
+      Rtree.length t = 0)
+
+let suites =
+  [ ( "rtree",
+      [ Alcotest.test_case "insert/search" `Quick test_insert_search;
+        Alcotest.test_case "any_overlap" `Quick test_any_overlap;
+        Alcotest.test_case "many inserts" `Quick test_many_inserts;
+        Alcotest.test_case "remove" `Quick test_remove;
+        Alcotest.test_case "remove many" `Quick test_remove_many;
+        Alcotest.test_case "fold" `Quick test_fold;
+        QCheck_alcotest.to_alcotest prop_search_matches_bruteforce;
+        QCheck_alcotest.to_alcotest prop_insert_then_remove_roundtrip ] ) ]

@@ -1,0 +1,144 @@
+open Tqec_sim
+
+let test_initial_state () =
+  let st = State.make 2 in
+  Alcotest.(check (float 1e-12)) "amp |00> = 1" 1.0 (Complex.norm (State.amplitude st 0));
+  Alcotest.(check (float 1e-12)) "amp |01> = 0" 0.0 (Complex.norm (State.amplitude st 1));
+  Alcotest.(check (float 1e-9)) "normalized" 1.0 (State.norm2 st)
+
+let test_x_flips () =
+  let st = State.make 1 in
+  State.apply_1q st 0 State.m_x;
+  Alcotest.(check (float 1e-12)) "amp |1> = 1" 1.0 (Complex.norm (State.amplitude st 1))
+
+let test_h_superposition () =
+  let st = State.make 1 in
+  State.apply_1q st 0 State.m_h;
+  Alcotest.(check (float 1e-9)) "amp |0>" (1.0 /. sqrt 2.0) (Complex.norm (State.amplitude st 0));
+  Alcotest.(check (float 1e-9)) "amp |1>" (1.0 /. sqrt 2.0) (Complex.norm (State.amplitude st 1));
+  State.apply_1q st 0 State.m_h;
+  Alcotest.(check (float 1e-9)) "H self-inverse" 1.0 (Complex.norm (State.amplitude st 0))
+
+let test_cnot_truth_table () =
+  List.iter
+    (fun (input, expected) ->
+      let st = State.of_basis 2 input in
+      State.apply_cnot st ~control:0 ~target:1;
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "CNOT |%d> -> |%d>" input expected)
+        1.0
+        (Complex.norm (State.amplitude st expected)))
+    [ (0, 0); (1, 3); (2, 2); (3, 1) ]
+
+let test_toffoli_truth_table () =
+  for input = 0 to 7 do
+    let st = State.of_basis 3 input in
+    State.apply_toffoli st ~c1:0 ~c2:1 ~target:2;
+    let expected = if input land 3 = 3 then input lxor 4 else input in
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "TOF |%d> -> |%d>" input expected)
+      1.0
+      (Complex.norm (State.amplitude st expected))
+  done
+
+let apply_seq st ms = List.iter (fun m -> State.apply_1q st 0 m) ms
+
+let check_1q_identity name ms =
+  (* The sequence must act as the identity up to global phase on both |0>
+     and |+> (two non-orthogonal states determine a 2x2 unitary). *)
+  let st0 = State.make 1 in
+  apply_seq st0 ms;
+  let id0 = State.make 1 in
+  Alcotest.(check bool) (name ^ " on |0>") true (State.equal_up_to_global_phase st0 id0);
+  let stp = State.make 1 in
+  State.apply_1q stp 0 State.m_h;
+  apply_seq stp ms;
+  let idp = State.make 1 in
+  State.apply_1q idp 0 State.m_h;
+  Alcotest.(check bool) (name ^ " on |+>") true (State.equal_up_to_global_phase stp idp)
+
+let check_1q_equiv name ms target =
+  List.iter
+    (fun (label, prep) ->
+      let a = State.make 1 in
+      prep a;
+      apply_seq a ms;
+      let b = State.make 1 in
+      prep b;
+      State.apply_1q b 0 target;
+      Alcotest.(check bool) (name ^ " on " ^ label) true (State.equal_up_to_global_phase a b))
+    [ ("|0>", fun _ -> ());
+      ("|1>", fun st -> State.apply_1q st 0 State.m_x);
+      ("|+>", fun st -> State.apply_1q st 0 State.m_h) ]
+
+let test_t_squared_is_p () = check_1q_equiv "T^2 = P" [ State.m_t; State.m_t ] State.m_p
+let test_p_squared_is_z () = check_1q_equiv "P^2 = Z" [ State.m_p; State.m_p ] State.m_z
+let test_v_squared_is_x () = check_1q_equiv "V^2 = X (up to phase)" [ State.m_v; State.m_v ] State.m_x
+let test_pvp_is_h () = check_1q_equiv "PVP = H" [ State.m_p; State.m_v; State.m_p ] State.m_h
+
+let test_inverses () =
+  check_1q_identity "T T+" [ State.m_t; State.m_tdag ];
+  check_1q_identity "P P+" [ State.m_p; State.m_pdag ];
+  check_1q_identity "V V+" [ State.m_v; State.m_vdag ]
+
+let test_phase_detection () =
+  (* Z|+> differs from |+> by a relative (not global) phase: must NOT be
+     equal up to global phase. *)
+  let a = State.make 1 in
+  State.apply_1q a 0 State.m_h;
+  let b = State.make 1 in
+  State.apply_1q b 0 State.m_h;
+  State.apply_1q b 0 State.m_z;
+  Alcotest.(check bool) "relative phase detected" false (State.equal_up_to_global_phase a b);
+  (* A pure global phase (e.g. from V^2 vs X) must be accepted. *)
+  let c = State.make 1 in
+  State.apply_1q c 0 State.m_v;
+  State.apply_1q c 0 State.m_v;
+  let d = State.make 1 in
+  State.apply_1q d 0 State.m_x;
+  Alcotest.(check bool) "global phase accepted" true (State.equal_up_to_global_phase c d)
+
+let test_norm_preserved () =
+  let st = State.make 3 in
+  State.apply_1q st 0 State.m_h;
+  State.apply_cnot st ~control:0 ~target:1;
+  State.apply_1q st 2 State.m_t;
+  State.apply_toffoli st ~c1:0 ~c2:1 ~target:2;
+  Alcotest.(check (float 1e-9)) "norm 1" 1.0 (State.norm2 st)
+
+let prop_unitary_preserves_norm =
+  QCheck.Test.make ~name:"random gate sequences preserve norm" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (int_bound 9))
+    (fun ops ->
+      let st = State.make 3 in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 -> State.apply_1q st 0 State.m_h
+          | 1 -> State.apply_1q st 1 State.m_t
+          | 2 -> State.apply_1q st 2 State.m_v
+          | 3 -> State.apply_cnot st ~control:0 ~target:1
+          | 4 -> State.apply_cnot st ~control:1 ~target:2
+          | 5 -> State.apply_toffoli st ~c1:0 ~c2:1 ~target:2
+          | 6 -> State.apply_1q st 0 State.m_p
+          | 7 -> State.apply_1q st 1 State.m_x
+          | 8 -> State.apply_cnot st ~control:2 ~target:0
+          | _ -> State.apply_1q st 2 State.m_z)
+        ops;
+      abs_float (State.norm2 st -. 1.0) < 1e-6)
+
+let suites =
+  [ ( "sim.state",
+      [ Alcotest.test_case "initial state" `Quick test_initial_state;
+        Alcotest.test_case "X flips" `Quick test_x_flips;
+        Alcotest.test_case "H superposition" `Quick test_h_superposition;
+        Alcotest.test_case "CNOT truth table" `Quick test_cnot_truth_table;
+        Alcotest.test_case "Toffoli truth table" `Quick test_toffoli_truth_table;
+        Alcotest.test_case "T^2 = P" `Quick test_t_squared_is_p;
+        Alcotest.test_case "P^2 = Z" `Quick test_p_squared_is_z;
+        Alcotest.test_case "V^2 = X" `Quick test_v_squared_is_x;
+        Alcotest.test_case "PVP = H" `Quick test_pvp_is_h;
+        Alcotest.test_case "inverses" `Quick test_inverses;
+        Alcotest.test_case "phase detection" `Quick test_phase_detection;
+        Alcotest.test_case "norm preserved" `Quick test_norm_preserved;
+        QCheck_alcotest.to_alcotest prop_unitary_preserves_norm ] ) ]
