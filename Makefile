@@ -1,0 +1,23 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full gate: build, tests, then a smoke run of the CLI that must produce a
+# parseable metrics file with every stage duration and counter present.
+check: build
+	dune runtest
+	dune exec bin/tqec_compress.exe -- --benchmark 4gt10-v1_81 \
+	  --trace --metrics-json _build/metrics_smoke.json
+	dune exec bin/tqec_metrics_check.exe -- _build/metrics_smoke.json
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -28,7 +28,7 @@ let load ~benchmark ~real_file ~seed =
   | None, None -> Error "pass --benchmark NAME or --real FILE"
 
 let run benchmark real_file seed sa_iterations route_iterations tiers no_bridging
-    no_primal_groups no_friends baselines layout json =
+    no_primal_groups no_friends baselines layout json trace metrics_file =
   match load ~benchmark ~real_file ~seed with
   | Error msg ->
       prerr_endline ("tqec_compress: " ^ msg);
@@ -67,9 +67,15 @@ let run benchmark real_file seed sa_iterations route_iterations tiers no_bridgin
         "runtime: preprocess %.2fs, bridging %.2fs, placement %.2fs, routing %.2fs\n"
         flow.breakdown.t_preprocess flow.breakdown.t_bridging flow.breakdown.t_placement
         flow.breakdown.t_routing;
-      (match validate flow with
-       | Ok () -> print_endline "validation: ok"
-       | Error e -> Printf.printf "validation: FAILED (%s)\n" e);
+      let valid =
+        match validate flow with
+        | Ok () ->
+            print_endline "validation: ok";
+            true
+        | Error e ->
+            Printf.printf "validation: FAILED (%s)\n" e;
+            false
+      in
       if baselines then begin
         let icm = flow.canonical.Tqec_canonical.Canonical.icm in
         let l1 = Tqec_baseline.Lin.run Tqec_baseline.Lin.One_d icm in
@@ -86,7 +92,25 @@ let run benchmark real_file seed sa_iterations route_iterations tiers no_bridgin
        | Some path ->
            Tqec_report.Geometry_export.write_file path flow;
            Printf.printf "layout exported to %s\n" path
-       | None -> ())
+       | None -> ());
+      if trace then prerr_string (Tqec_obs.Trace.to_text flow.trace);
+      (match metrics_file with
+       | Some path ->
+           (match open_out path with
+            | oc ->
+                output_string oc
+                  (Tqec_obs.Json.to_string ~pretty:true
+                     (Tqec_core.Flow.metrics_json flow));
+                output_char oc '\n';
+                close_out oc;
+                Printf.printf "metrics exported to %s\n" path
+            | exception Sys_error msg ->
+                Printf.eprintf "tqec_compress: cannot write metrics: %s\n" msg;
+                exit 1)
+       | None -> ());
+      (* CI gate: an invalid result (overlap, ordering violation, unrouted
+         nets) must not exit 0. *)
+      if not valid then exit 2
 
 let benchmark =
   Arg.(value & opt (some string) None & info [ "benchmark"; "b" ] ~docv:"NAME"
@@ -131,6 +155,16 @@ let json =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
          ~doc:"Export the placed-and-routed geometry as JSON.")
 
+let trace =
+  Arg.(value & flag & info [ "trace" ]
+         ~doc:"Render the flow's span tree (per-stage timings, counters,
+               distributions) to stderr.")
+
+let metrics_file =
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
+         ~doc:"Write machine-readable per-stage metrics (durations, counters,
+               full trace) as JSON.")
+
 let cmd =
   let doc = "bridge-based compression of topological quantum circuits" in
   Cmd.v
@@ -138,6 +172,6 @@ let cmd =
     Term.(
       const run $ benchmark $ real_file $ seed $ sa_iterations $ route_iterations
       $ tiers $ no_bridging $ no_primal_groups $ no_friends $ baselines $ layout
-      $ json)
+      $ json $ trace $ metrics_file)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,44 @@
+(* Validate a --metrics-json file: parses as JSON and carries the fields CI
+   gates on. Used by `make check`.
+
+     tqec_metrics_check metrics.json *)
+
+module Json = Tqec_obs.Json
+
+let required_paths =
+  [ [ "schema_version" ];
+    [ "circuit" ];
+    [ "volume" ];
+    [ "stage_durations_s"; "preprocess" ];
+    [ "stage_durations_s"; "bridging" ];
+    [ "stage_durations_s"; "placement" ];
+    [ "stage_durations_s"; "routing" ];
+    [ "counters"; "placement/sa_accepted" ];
+    [ "counters"; "placement/sa_rejected" ];
+    [ "counters"; "routing/astar_expansions" ];
+    [ "counters"; "routing/ripup_passes" ];
+    [ "counters"; "bridging/merges" ];
+    [ "trace"; "name" ] ]
+
+let () =
+  let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("tqec_metrics_check: " ^ s); exit 1) fmt in
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ -> fail "usage: tqec_metrics_check FILE"
+  in
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error msg -> fail "%s" msg
+  in
+  match Json.of_string contents with
+  | Error msg -> fail "%s does not parse as JSON: %s" file msg
+  | Ok json ->
+      List.iter
+        (fun p ->
+          match Json.path p json with
+          | Some _ -> ()
+          | None -> fail "%s is missing required field %s" file (String.concat "." p))
+        required_paths;
+      Printf.printf "tqec_metrics_check: %s ok (%d required fields present)\n" file
+        (List.length required_paths)

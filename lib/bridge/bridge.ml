@@ -1,5 +1,6 @@
 module Modular = Tqec_modular.Modular
 module Binheap = Tqec_prelude.Binheap
+module Trace = Tqec_obs.Trace
 
 type net = { net_id : int; pin_a : int; pin_b : int; loop : int }
 
@@ -427,7 +428,7 @@ let generate_nets st =
 (* Algorithm 1                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let run m =
+let run ?(trace = Trace.noop) m =
   let st = init_state m in
   let num_loops = Array.length m.Modular.loops in
   let processed = Array.make num_loops false in
@@ -506,6 +507,17 @@ let run m =
       st.chain_list
     |> List.filter_map (fun x -> x)
   in
+  if Trace.enabled trace then begin
+    (* A merge attempt succeeds exactly when the bridge-graph path search
+       proves the loop reconstructable after merging; a rejection is a failed
+       reconstructability check. *)
+    Trace.incr ~n:!attempts trace "merge_attempts";
+    Trace.incr ~n:!merges trace "merges";
+    Trace.incr ~n:(!attempts - !merges) trace "merge_rejected";
+    Trace.incr ~n:!structure_count trace "structures";
+    Trace.incr ~n:(List.length nets) trace "nets_generated";
+    Trace.incr ~n:(List.length chains) trace "chains_alive"
+  end;
   { modular = m;
     structures = List.rev !structures;
     nets;

@@ -39,8 +39,10 @@ type result = {
   chains : chain_view list; (** final chain decomposition, for inspection *)
 }
 
-val run : Tqec_modular.Modular.t -> result
-(** Execute iterative bridging over all dual loops. Deterministic. *)
+val run : ?trace:Tqec_obs.Trace.span -> Tqec_modular.Modular.t -> result
+(** Execute iterative bridging over all dual loops. Deterministic; [trace]
+    (default noop) receives merge-attempt/success and
+    reconstructability-check-outcome counters without affecting the run. *)
 
 val naive_nets : Tqec_modular.Modular.t -> net list
 (** The nets obtained *without* bridging (three per CNOT loop) — the

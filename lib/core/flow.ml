@@ -1,4 +1,5 @@
-module Stopwatch = Tqec_prelude.Stopwatch
+module Trace = Tqec_obs.Trace
+module Json = Tqec_obs.Json
 module Circuit = Tqec_circuit.Circuit
 module Decompose = Tqec_circuit.Decompose
 module Icm = Tqec_icm.Icm
@@ -42,6 +43,96 @@ let scale_options ?sa_iterations ?route_iterations options =
   in
   { options with place; route }
 
+(* ------------------------------------------------------------------ *)
+(* The four pipeline stages (paper Fig. 2). Each stage is independently
+   callable: it consumes a typed input, records onto the span it is
+   given, and returns a typed artifact that later stages (or callers
+   wanting to checkpoint / skip / parallelize) can hold on to.          *)
+(* ------------------------------------------------------------------ *)
+
+module Preprocess = struct
+  type input = Circuit.t
+
+  type output = {
+    decomposed : Circuit.t;
+    icm : Icm.t;
+    stats : Stats.t;
+    canonical : Canonical.t;
+    modular : Modular.t;
+  }
+
+  let run ~trace circuit =
+    let decomposed = Decompose.circuit circuit in
+    let icm = Icm.of_circuit decomposed in
+    let canonical = Canonical.of_icm icm in
+    let modular = Modular.of_icm icm in
+    let stats =
+      Stats.of_icm ~qubits_o:circuit.Circuit.num_qubits
+        ~gates_o:(Circuit.gate_count circuit) icm
+    in
+    if Trace.enabled trace then begin
+      Trace.incr ~n:(Circuit.gate_count circuit) trace "gates_in";
+      Trace.incr ~n:(Circuit.gate_count decomposed) trace "gates_decomposed";
+      Trace.incr ~n:(Array.length icm.Icm.gadgets) trace "icm_gadgets";
+      Trace.incr ~n:(Modular.num_modules modular) trace "modules";
+      Trace.incr ~n:(Array.length modular.Modular.loops) trace "loops";
+      Trace.incr ~n:(Array.length modular.Modular.pins) trace "pins"
+    end;
+    { decomposed; icm; stats; canonical; modular }
+end
+
+module Bridging = struct
+  type input = { bridging : bool; modular : Modular.t }
+
+  type output = { bridge : Bridge.result option; nets : Bridge.net list }
+
+  let run ~trace { bridging; modular } =
+    if bridging then begin
+      let r = Bridge.run ~trace modular in
+      { bridge = Some r; nets = r.Bridge.nets }
+    end
+    else begin
+      let nets = Bridge.naive_nets modular in
+      if Trace.enabled trace then
+        Trace.incr ~n:(List.length nets) trace "nets_generated";
+      { bridge = None; nets }
+    end
+end
+
+module Placement = struct
+  type input = {
+    primal_groups : bool;
+    max_group_size : int;
+    config : Place25d.config;
+    modular : Modular.t;
+    nets : Bridge.net list;
+  }
+
+  type output = { cluster : Cluster.t; placement : Place25d.placement }
+
+  let run ~trace { primal_groups; max_group_size; config; modular; nets } =
+    let cluster = Cluster.build ~primal_groups ~max_group_size modular in
+    let placement = Place25d.place ~trace config cluster nets in
+    { cluster; placement }
+end
+
+module Routing = struct
+  type input = {
+    config : Router.config;
+    placement : Place25d.placement;
+    nets : Bridge.net list;
+  }
+
+  type output = Router.result
+
+  let run ~trace { config; placement; nets } =
+    Router.route ~trace config placement nets
+end
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end composition                                              *)
+(* ------------------------------------------------------------------ *)
+
 type breakdown = {
   t_preprocess : float;
   t_bridging : float;
@@ -64,56 +155,58 @@ type t = {
   volume : int;
   total_volume : int;
   breakdown : breakdown;
+  trace : Trace.span;
 }
 
-let run ?(options = default_options) circuit =
-  let total = Stopwatch.start () in
-  let (decomposed, icm, canonical, modular), t_preprocess =
-    Stopwatch.time (fun () ->
-        let decomposed = Decompose.circuit circuit in
-        let icm = Icm.of_circuit decomposed in
-        let canonical = Canonical.of_icm icm in
-        let modular = Modular.of_icm icm in
-        (decomposed, icm, canonical, modular))
+let stage_names = [ "preprocess"; "bridging"; "placement"; "routing" ]
+
+let run ?(options = default_options) ?trace circuit =
+  let root =
+    match trace with
+    | Some parent -> Trace.span parent "flow"
+    | None -> Trace.root "flow"
   in
-  ignore decomposed;
-  let stats =
-    Stats.of_icm ~qubits_o:circuit.Circuit.num_qubits
-      ~gates_o:(Circuit.gate_count circuit) icm
+  (* Each stage runs under its own child span; the breakdown is read back
+     from those spans instead of hand-rolled stopwatches. *)
+  let stage name f input =
+    let span = Trace.span root name in
+    let out = f ~trace:span input in
+    Trace.close span;
+    (out, Trace.duration_s span)
   in
-  let (bridge, nets), t_bridging =
-    Stopwatch.time (fun () ->
-        if options.bridging then begin
-          let r = Bridge.run modular in
-          (Some r, r.Bridge.nets)
-        end
-        else (None, Bridge.naive_nets modular))
+  let pre, t_preprocess = stage "preprocess" Preprocess.run circuit in
+  let br, t_bridging =
+    stage "bridging" Bridging.run
+      { Bridging.bridging = options.bridging; modular = pre.Preprocess.modular }
   in
-  let (cluster, placement), t_placement =
-    Stopwatch.time (fun () ->
-        let cluster =
-          Cluster.build ~primal_groups:options.primal_groups
-            ~max_group_size:options.max_group_size modular
-        in
-        let placement = Place25d.place options.place cluster nets in
-        (cluster, placement))
+  let pl, t_placement =
+    stage "placement" Placement.run
+      { Placement.primal_groups = options.primal_groups;
+        max_group_size = options.max_group_size;
+        config = options.place;
+        modular = pre.Preprocess.modular;
+        nets = br.Bridging.nets }
   in
-  let route_options =
+  let route_config =
     { options.route with Router.friend_aware = options.friend_aware && options.bridging }
   in
   let routing, t_routing =
-    Stopwatch.time (fun () -> Router.route route_options placement nets)
+    stage "routing" Routing.run
+      { Routing.config = route_config;
+        placement = pl.Placement.placement;
+        nets = br.Bridging.nets }
   in
+  Trace.close root;
   let d, w, h = routing.Router.dims in
   let volume = routing.Router.volume in
   { name = circuit.Circuit.name;
-    stats;
-    canonical;
-    modular;
-    bridge;
-    nets;
-    cluster;
-    placement;
+    stats = pre.Preprocess.stats;
+    canonical = pre.Preprocess.canonical;
+    modular = pre.Preprocess.modular;
+    bridge = br.Bridging.bridge;
+    nets = br.Bridging.nets;
+    cluster = pl.Placement.cluster;
+    placement = pl.Placement.placement;
     routing;
     dims = (w, h, d);
     volume;
@@ -123,11 +216,46 @@ let run ?(options = default_options) circuit =
         t_bridging;
         t_placement;
         t_routing;
-        t_total = Stopwatch.elapsed_s total } }
+        t_total = Trace.duration_s root };
+    trace = root }
 
 let num_nodes t = Cluster.num_clusters t.cluster
 
 let num_nets t = List.length t.nets
+
+let stage_span t name = Trace.find t.trace [ name ]
+
+let stage_counter t stage name =
+  match stage_span t stage with Some s -> Trace.counter s name | None -> 0
+
+let metrics_json t =
+  let w, h, d = t.dims in
+  Json.Obj
+    [ ("schema_version", Json.Int 1);
+      ("circuit", Json.String t.name);
+      ("volume", Json.Int t.volume);
+      ("dims", Json.Obj [ ("w", Json.Int w); ("h", Json.Int h); ("d", Json.Int d) ]);
+      ("nets", Json.Int (num_nets t));
+      ("nodes", Json.Int (num_nodes t));
+      ("routed", Json.Int (List.length t.routing.Router.routed));
+      ("unrouted", Json.Int (List.length t.routing.Router.failed));
+      ( "stage_durations_s",
+        Json.Obj
+          (List.map
+             (fun name ->
+               let dur =
+                 match stage_span t name with
+                 | Some s -> Trace.duration_s s
+                 | None -> 0.0
+               in
+               (name, Json.Float dur))
+             stage_names) );
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Int v))
+             (Trace.flat_counters t.trace)) );
+      ("trace", Trace.to_json t.trace) ]
 
 let validate t =
   match Place25d.check_no_overlap t.placement with

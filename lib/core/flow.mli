@@ -1,14 +1,23 @@
-(** The end-to-end TQEC circuit compression flow (Fig. 11).
+(** The end-to-end TQEC circuit compression flow (Fig. 11), as an explicit
+    staged pipeline.
 
     Preprocess (gate decomposition → ICM → canonical description →
-    modularization) → iterative bridging → module clustering →
-    time-ordering-aware 2.5D placement → dual-defect net routing. Ablation
-    switches reproduce the paper's comparison points: [bridging:false] is the
-    Table V baseline, [primal_groups:false] is the conference version [36]
-    of Table III, and [friend_aware:false] isolates the routing contribution.
+    modularization) → iterative bridging → module clustering +
+    time-ordering-aware 2.5D placement → dual-defect net routing. Each stage
+    is its own module with a typed [input]/[output] and a
+    [run : trace:span -> input -> output] entry point, so callers can run
+    the stages independently, checkpoint intermediate artifacts, or swap a
+    stage out; {!run} is the canonical composition. Ablation switches
+    reproduce the paper's comparison points: [bridging:false] is the Table V
+    baseline, [primal_groups:false] is the conference version [36] of
+    Table III, and [friend_aware:false] isolates the routing contribution.
 
-    The result carries the per-stage runtime breakdown reported in
-    Table VI. *)
+    Observability: every stage records counters, gauges and distributions
+    onto the {!Tqec_obs.Trace} span it is given (SA move acceptance, A*
+    expansions, rip-up passes, bridge merges, …). The per-stage runtime
+    breakdown of Table VI is derived from the trace. Instrumentation never
+    affects results: a flow run with a noop trace is bit-identical to a
+    traced one. *)
 
 type options = {
   bridging : bool;
@@ -23,6 +32,66 @@ val default_options : options
 
 val scale_options : ?sa_iterations:int -> ?route_iterations:int -> options -> options
 (** Convenience for per-benchmark effort budgets. *)
+
+(** Stage 1: gate decomposition, ICM conversion, canonical description,
+    modularization and Table-I statistics. *)
+module Preprocess : sig
+  type input = Tqec_circuit.Circuit.t
+
+  type output = {
+    decomposed : Tqec_circuit.Circuit.t;
+    icm : Tqec_icm.Icm.t;
+    stats : Tqec_icm.Stats.t;
+    canonical : Tqec_canonical.Canonical.t;
+    modular : Tqec_modular.Modular.t;
+  }
+
+  val run : trace:Tqec_obs.Trace.span -> input -> output
+end
+
+(** Stage 2: iterative bridging (or naive per-loop nets when disabled). *)
+module Bridging : sig
+  type input = { bridging : bool; modular : Tqec_modular.Modular.t }
+
+  type output = {
+    bridge : Tqec_bridge.Bridge.result option;  (** [None] when bridging is off *)
+    nets : Tqec_bridge.Bridge.net list;
+  }
+
+  val run : trace:Tqec_obs.Trace.span -> input -> output
+end
+
+(** Stage 3: module clustering and 2.5D simulated-annealing placement. *)
+module Placement : sig
+  type input = {
+    primal_groups : bool;
+    max_group_size : int;
+    config : Tqec_place.Place25d.config;
+    modular : Tqec_modular.Modular.t;
+    nets : Tqec_bridge.Bridge.net list;
+  }
+
+  type output = {
+    cluster : Tqec_place.Cluster.t;
+    placement : Tqec_place.Place25d.placement;
+  }
+
+  val run : trace:Tqec_obs.Trace.span -> input -> output
+end
+
+(** Stage 4: negotiation-based dual-defect net routing. The caller resolves
+    [config.friend_aware] (friend nets only exist after bridging). *)
+module Routing : sig
+  type input = {
+    config : Tqec_route.Router.config;
+    placement : Tqec_place.Place25d.placement;
+    nets : Tqec_bridge.Bridge.net list;
+  }
+
+  type output = Tqec_route.Router.result
+
+  val run : trace:Tqec_obs.Trace.span -> input -> output
+end
 
 type breakdown = {
   t_preprocess : float;
@@ -45,17 +114,39 @@ type t = {
   dims : int * int * int;   (** (w, h, d) of the compressed circuit *)
   volume : int;             (** compressed space-time volume, boxes included *)
   total_volume : int;       (** volume (boxes are already placed inside) *)
-  breakdown : breakdown;
+  breakdown : breakdown;    (** per-stage runtimes, derived from [trace] *)
+  trace : Tqec_obs.Trace.span;
+      (** the flow's span: one child per stage, holding that stage's
+          counters, gauges and distributions *)
 }
 
-val run : ?options:options -> Tqec_circuit.Circuit.t -> t
+val stage_names : string list
+(** [["preprocess"; "bridging"; "placement"; "routing"]] — the child spans of
+    [trace], in pipeline order. *)
+
+val run : ?options:options -> ?trace:Tqec_obs.Trace.span -> Tqec_circuit.Circuit.t -> t
 (** Compress a circuit. The input may contain arbitrary supported gates;
-    decomposition happens inside. Deterministic for fixed options. *)
+    decomposition happens inside. Deterministic for fixed options. When
+    [trace] is given, the flow span is created under it (pass
+    {!Tqec_obs.Trace.noop} to disable instrumentation entirely — the
+    breakdown then reads all-zero); otherwise the flow records under a
+    fresh live root so the breakdown is always available. *)
 
 val num_nodes : t -> int
 (** #Nodes of Table I: top-level clusters in the 2.5D B*-tree. *)
 
 val num_nets : t -> int
+
+val stage_span : t -> string -> Tqec_obs.Trace.span option
+(** The recorded span of a stage, by name from {!stage_names}. *)
+
+val stage_counter : t -> string -> string -> int
+(** [stage_counter t stage counter]; 0 when absent. *)
+
+val metrics_json : t -> Tqec_obs.Json.t
+(** Machine-readable metrics (the [--metrics-json] payload): schema_version,
+    circuit, volume, dims, net/node counts, routed/unrouted, per-stage
+    durations, flattened counters, and the full span tree. *)
 
 val validate : t -> (unit, string) Stdlib.result
 (** End-to-end invariants: placement overlap-free and time-ordered, routing

@@ -1,0 +1,89 @@
+(** Structured observability for the compression pipeline.
+
+    A trace is a tree of {e spans} — named, timed regions of execution with
+    monotonic timestamps — each carrying named {e counters} (monotone ints),
+    {e gauges} (last-write-wins floats) and {e distributions} (streaming
+    count/sum/min/max over observed samples).
+
+    Every operation also accepts the {!noop} span, which records nothing and
+    costs a single pattern match, so hot loops can be instrumented
+    unconditionally and pay nothing when tracing is disabled. Spans created
+    under a noop parent are themselves noop.
+
+    Timestamps come from {!Tqec_prelude.Stopwatch}, whose monotonic guard
+    makes durations immune to wall-clock steps. Recording is deterministic:
+    counters, gauges and distributions never influence control flow, so an
+    instrumented algorithm behaves bit-identically with tracing on or off. *)
+
+type span
+
+val noop : span
+(** The no-op sink: all recording operations on it are free. *)
+
+val root : string -> span
+(** A fresh live root span, started now. *)
+
+val enabled : span -> bool
+(** [false] exactly for {!noop} (and spans derived from it). *)
+
+val span : span -> string -> span
+(** [span parent name] opens a child span. Noop parent => noop child. *)
+
+val close : span -> unit
+(** Stop the span's clock. Idempotent; children left open are closed too. *)
+
+val with_span : span -> string -> (span -> 'a) -> 'a
+(** Open a child, run the function, close the child (also on exceptions). *)
+
+val incr : ?n:int -> span -> string -> unit
+(** Add [n] (default 1) to a named counter of this span. *)
+
+val gauge : span -> string -> float -> unit
+(** Set a named gauge (last write wins). *)
+
+val observe : span -> string -> float -> unit
+(** Add a sample to a named distribution. *)
+
+(* -------------------------- inspection --------------------------- *)
+
+type dist = { n : int; sum : float; min_v : float; max_v : float }
+
+val name : span -> string
+(** [""] for noop. *)
+
+val duration_s : span -> float
+(** Elapsed seconds from open to close (to now if still open); 0 for noop. *)
+
+val children : span -> span list
+(** In creation order. *)
+
+val find : span -> string list -> span option
+(** Descend by child name, e.g. [find root ["routing"; "pass_1"]]. Returns the
+    first child with each name. *)
+
+val counter : span -> string -> int
+(** 0 when absent or noop. *)
+
+val counters : span -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : span -> (string * float) list
+(** Sorted by name. *)
+
+val dists : span -> (string * dist) list
+(** Sorted by name. *)
+
+val flat_counters : span -> (string * int) list
+(** All counters of the subtree, names prefixed with ["child/"] paths and
+    summed across same-named siblings; sorted by name. *)
+
+(* -------------------------- rendering ---------------------------- *)
+
+val to_text : span -> string
+(** Human-readable span tree with durations and per-span metrics; one line
+    per span, two-space indent per depth. Empty for noop. *)
+
+val to_json : span -> Json.t
+(** Hierarchical JSON:
+    [{"name", "duration_s", "counters", "gauges", "dists", "children"}];
+    empty sections are omitted. {!Json.Null} for noop. *)

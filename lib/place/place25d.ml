@@ -1,6 +1,7 @@
 module Point3 = Tqec_geom.Point3
 module Cuboid = Tqec_geom.Cuboid
 module Rng = Tqec_prelude.Rng
+module Trace = Tqec_obs.Trace
 module Modular = Tqec_modular.Modular
 module Bridge = Tqec_bridge.Bridge
 
@@ -220,7 +221,7 @@ let default_tier_count cl ~spacing ~z_gap =
   let guess = int_of_float (sqrt (float_of_int area /. (pitch *. float_of_int max_d))) in
   max 1 (min n (max guess 1))
 
-let place config cl nets =
+let place ?(trace = Trace.noop) config cl nets =
   Cluster.equalize_tsl cl;
   let ntiers =
     match config.tiers with
@@ -247,12 +248,18 @@ let place config cl nets =
     (* Tier-plane aspect: keeping width and depth comparable avoids the
        degenerate snake floorplans that pack well but route terribly. *)
     let r = float_of_int w /. float_of_int (max 1 d) in
-    (config.alpha *. v /. v_norm)
-    +. (config.beta *. l /. l_norm)
-    +. (config.gamma *. ((r -. config.aspect_target) ** 2.0))
+    let volume_term = config.alpha *. v /. v_norm in
+    let wirelength_term = config.beta *. l /. l_norm in
+    let aspect_term = config.gamma *. ((r -. config.aspect_target) ** 2.0) in
+    if Trace.enabled trace then begin
+      Trace.observe trace "cost/volume_term" volume_term;
+      Trace.observe trace "cost/wirelength_term" wirelength_term;
+      Trace.observe trace "cost/aspect_term" aspect_term
+    end;
+    volume_term +. wirelength_term +. aspect_term
   in
   let stats =
-    Sa.run ~rng ~init ~copy:copy_state ~cost
+    Sa.run ~trace ~rng ~init ~copy:copy_state ~cost
       ~perturb:(fun rng s -> perturb cl ~spacing rng s)
       config.sa
   in
@@ -266,13 +273,21 @@ let place config cl nets =
   in
   let d, w, h = overall_dims packs ~z_gap in
   let tier_of_cluster = Array.map fst final.cluster_slot in
+  let wirelength = wirelength_of cl cluster_pos nets in
+  if Trace.enabled trace then begin
+    Trace.incr ~n:(Cluster.num_clusters cl) trace "clusters";
+    Trace.incr ~n:ntiers trace "tiers";
+    Trace.incr ~n:(d * w * h) trace "placed_volume";
+    Trace.incr ~n:wirelength trace "wirelength";
+    Trace.gauge trace "sa_final_cost" stats.Sa.best_cost
+  end;
   { cluster = cl;
     module_pos;
     cluster_pos;
     tier_of_cluster;
     dims = (d, w, h);
     volume = d * w * h;
-    wirelength = wirelength_of cl cluster_pos nets;
+    wirelength;
     sa_accepted = stats.Sa.accepted;
     sa_improved = stats.Sa.improved }
 

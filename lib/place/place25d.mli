@@ -41,9 +41,16 @@ type placement = {
   sa_improved : int;
 }
 
-val place : config -> Cluster.t -> Tqec_bridge.Bridge.net list -> placement
+val place :
+  ?trace:Tqec_obs.Trace.span ->
+  config ->
+  Cluster.t ->
+  Tqec_bridge.Bridge.net list ->
+  placement
 (** Anneal the 2.5D floorplan for the given clusters, estimating wirelength
-    over [nets]. Deterministic for a fixed [config.seed]. *)
+    over [nets]. Deterministic for a fixed [config.seed]; [trace] records
+    SA move counters and per-evaluation cost-component distributions without
+    affecting the result. *)
 
 val pin_position : placement -> int -> Tqec_geom.Point3.t
 (** Absolute position of a pin after placement. *)

@@ -1,4 +1,5 @@
 module Rng = Tqec_prelude.Rng
+module Trace = Tqec_obs.Trace
 
 type params = {
   iterations : int;
@@ -18,7 +19,7 @@ type 'a stats = {
   improved : int;
 }
 
-let run ~rng ~init ~copy ~cost ~perturb params =
+let run ?(trace = Trace.noop) ~rng ~init ~copy ~cost ~perturb params =
   let current = ref init in
   let current_cost = ref (cost init) in
   let best = ref (copy init) in
@@ -50,5 +51,12 @@ let run ~rng ~init ~copy ~cost ~perturb params =
   done;
   let final = if params.restore_best then !best else !current in
   let final_cost = if params.restore_best then !best_cost else !current_cost in
+  if Trace.enabled trace then begin
+    Trace.incr ~n:n trace "sa_moves";
+    Trace.incr ~n:!accepted trace "sa_accepted";
+    Trace.incr ~n:!rejected trace "sa_rejected";
+    Trace.incr ~n:!improved trace "sa_improved";
+    Trace.gauge trace "sa_best_cost" final_cost
+  end;
   { best = final; best_cost = final_cost; accepted = !accepted; rejected = !rejected;
     improved = !improved }

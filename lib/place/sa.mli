@@ -23,6 +23,7 @@ type 'a stats = {
 }
 
 val run :
+  ?trace:Tqec_obs.Trace.span ->
   rng:Tqec_prelude.Rng.t ->
   init:'a ->
   copy:('a -> 'a) ->
@@ -31,4 +32,6 @@ val run :
   params ->
   'a stats
 (** [perturb] returns a new (or modified-copy) solution; the engine never
-    mutates a solution it has handed out. Deterministic given the RNG. *)
+    mutates a solution it has handed out. Deterministic given the RNG;
+    [trace] (default {!Tqec_obs.Trace.noop}) receives move-acceptance
+    counters without influencing the anneal. *)

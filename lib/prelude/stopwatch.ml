@@ -1,8 +1,20 @@
+(* Monotonic guard: [Unix.gettimeofday] is wall-clock time and can step
+   backwards under NTP adjustment. Clamping every reading to the maximum
+   observed so far keeps elapsed times non-negative and non-decreasing, which
+   is all the breakdown/trace instrumentation needs. *)
+let last = ref neg_infinity
+
+let now_s () =
+  let t = Unix.gettimeofday () in
+  let t = if t > !last then t else !last in
+  last := t;
+  t
+
 type t = float
 
-let start () = Unix.gettimeofday ()
+let start () = now_s ()
 
-let elapsed_s t = Unix.gettimeofday () -. t
+let elapsed_s t = now_s () -. t
 
 let time f =
   let t = start () in

@@ -1,6 +1,13 @@
-(** Wall-clock timing for the runtime-breakdown experiments (Table VI). *)
+(** Wall-clock timing for the runtime-breakdown experiments (Table VI).
+
+    All readings go through a monotonic guard: a wall-clock step backwards
+    (e.g. an NTP adjustment) freezes the clock instead of producing negative
+    elapsed times, so timings are always non-negative and non-decreasing. *)
 
 type t
+
+val now_s : unit -> float
+(** Current time in seconds, monotonically non-decreasing across calls. *)
 
 val start : unit -> t
 

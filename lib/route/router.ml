@@ -1,6 +1,7 @@
 module Point3 = Tqec_geom.Point3
 module Cuboid = Tqec_geom.Cuboid
 module Binheap = Tqec_prelude.Binheap
+module Trace = Tqec_obs.Trace
 module Bridge = Tqec_bridge.Bridge
 module Modular = Tqec_modular.Modular
 module Place25d = Tqec_place.Place25d
@@ -50,6 +51,8 @@ type workspace = {
   parent : int array;         (* encoded predecessor cell, -1 for sources *)
   history : float array;      (* PathFinder history cost per cell *)
   mutable generation : int;
+  mutable n_expansions : int; (* A* nodes popped, across all searches *)
+  mutable n_pushes : int;     (* heap pushes, across all searches *)
 }
 
 let make_workspace grid =
@@ -59,7 +62,9 @@ let make_workspace grid =
     stamp = Array.make n 0;
     parent = Array.make n (-1);
     history = Array.make n 0.0;
-    generation = 0 }
+    generation = 0;
+    n_expansions = 0;
+    n_pushes = 0 }
 
 (* A* from the start set to the goal set inside [region]. All hot-loop
    arithmetic is on encoded cell indices (no allocation per expansion).
@@ -104,6 +109,7 @@ let astar ws ~max_expansions ~present_penalty ~occupancy ~region ~starts ~goals 
       ws.stamp.(c) <- gen;
       ws.g_score.(c) <- g;
       ws.parent.(c) <- from;
+      ws.n_pushes <- ws.n_pushes + 1;
       Binheap.push heap ~key:(-(g + h_c c)) c
     end
   in
@@ -150,6 +156,7 @@ let astar ws ~max_expansions ~present_penalty ~occupancy ~region ~starts ~goals 
             end
           end
   done;
+  ws.n_expansions <- ws.n_expansions + !expansions;
   if !found < 0 then None
   else begin
     let rec back c acc =
@@ -226,7 +233,7 @@ let friend_cells st ~config ~region pin =
             | Some rn -> List.filter (Cuboid.contains_point region) rn.path)
           net_ids
 
-let route config placement nets =
+let route ?(trace = Trace.noop) config placement nets =
   let modular = placement.Place25d.cluster.Tqec_place.Cluster.modular in
   let d, w, h = placement.Place25d.dims in
   let halo = config.region_margin + 2 in
@@ -379,11 +386,14 @@ let route config placement nets =
   let get_extra n = Option.value ~default:0 (Hashtbl.find_opt extra n.Bridge.net_id) in
   let iter = ref 0 in
   let debug = Sys.getenv_opt "TQEC_ROUTE_DEBUG" <> None in
+  let total_ripped = ref 0 in
   while !pending <> [] && !iter < config.max_iterations do
     incr iter;
     iterations_used := !iter;
     if debug then
       Printf.eprintf "debug: pass %d, %d pending\n%!" !iter (List.length !pending);
+    let pass_span = Trace.span trace (Printf.sprintf "pass_%d" !iter) in
+    let attempted = List.length !pending in
     (* Present-sharing penalty doubles each pass (PathFinder schedule). *)
     let present_penalty = min 64.0 (2.0 ** float_of_int (!iter + 1)) in
     let unrouted = ref [] in
@@ -419,6 +429,14 @@ let route config placement nets =
     if !iter = 1 then
       first_iter_count :=
         List.length nets - List.length !unrouted - List.length !ripped;
+    total_ripped := !total_ripped + List.length !ripped;
+    if Trace.enabled pass_span then begin
+      Trace.incr ~n:attempted pass_span "attempted";
+      Trace.incr ~n:(attempted - List.length !unrouted) pass_span "routed";
+      Trace.incr ~n:(List.length !unrouted) pass_span "unrouted";
+      Trace.incr ~n:(List.length !ripped) pass_span "ripped"
+    end;
+    Trace.close pass_span;
     let next = List.rev_append !unrouted !ripped in
     (* Most-starved nets route first next pass; ties shortest-first. *)
     pending :=
@@ -470,6 +488,16 @@ let route config placement nets =
         let bd, bw, bh = Cuboid.dims b in
         ((bd, bw, bh), bd * bw * bh)
   in
+  if Trace.enabled trace then begin
+    Trace.incr ~n:ws.n_expansions trace "astar_expansions";
+    Trace.incr ~n:ws.n_pushes trace "heap_pushes";
+    Trace.incr ~n:!iterations_used trace "ripup_passes";
+    Trace.incr ~n:!total_ripped trace "nets_ripped";
+    Trace.incr ~n:(List.length stripped) trace "nets_stripped";
+    Trace.incr ~n:(List.length routed) trace "nets_routed";
+    Trace.incr ~n:(List.length failed) trace "nets_failed";
+    Trace.incr ~n:!first_iter_count trace "routed_first_pass"
+  end;
   { routed;
     failed;
     dims;

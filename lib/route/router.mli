@@ -43,10 +43,14 @@ type result = {
 }
 
 val route :
+  ?trace:Tqec_obs.Trace.span ->
   config ->
   Tqec_place.Place25d.placement ->
   Tqec_bridge.Bridge.net list ->
   result
+(** [trace] (default noop) receives one child span per negotiation pass with
+    attempted/routed/unrouted/ripped counters, plus A* expansion, heap-push
+    and rip-up totals on [trace] itself. Recording never affects routing. *)
 
 val validate :
   Tqec_place.Place25d.placement -> result -> (unit, string) Stdlib.result

@@ -1,5 +1,6 @@
 open Tqec_circuit
 module Flow = Tqec_core.Flow
+module Trace = Tqec_obs.Trace
 
 let fast_options =
   Flow.scale_options ~sa_iterations:1500 ~route_iterations:15 Flow.default_options
@@ -88,6 +89,125 @@ let test_flow_breakdown_sums () =
     (b.Flow.t_preprocess +. b.Flow.t_bridging +. b.Flow.t_placement +. b.Flow.t_routing
      <= b.Flow.t_total +. 0.05)
 
+let test_stage_traces_exist () =
+  let f = Flow.run ~options:fast_options (fig4_circuit ()) in
+  Alcotest.(check (list string)) "one child span per stage, in order"
+    Flow.stage_names
+    (List.map Trace.name (Trace.children f.Flow.trace));
+  List.iter
+    (fun stage ->
+      match Flow.stage_span f stage with
+      | Some s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s duration non-negative" stage)
+            true
+            (Trace.duration_s s >= 0.0)
+      | None -> Alcotest.fail (stage ^ " span missing"))
+    Flow.stage_names
+
+let test_breakdown_derived_from_trace () =
+  let f = Flow.run ~options:fast_options (fig4_circuit ()) in
+  let b = f.Flow.breakdown in
+  let dur stage =
+    match Flow.stage_span f stage with
+    | Some s -> Trace.duration_s s
+    | None -> Alcotest.fail (stage ^ " span missing")
+  in
+  List.iter2
+    (fun stage expected ->
+      Alcotest.(check (float 1e-9)) (stage ^ " equals span duration") (dur stage)
+        expected)
+    Flow.stage_names
+    [ b.Flow.t_preprocess; b.Flow.t_bridging; b.Flow.t_placement; b.Flow.t_routing ];
+  Alcotest.(check bool) "stages sum below total" true
+    (b.Flow.t_preprocess +. b.Flow.t_bridging +. b.Flow.t_placement +. b.Flow.t_routing
+     <= b.Flow.t_total +. 1e-9)
+
+let test_stage_counters () =
+  let f = Flow.run ~options:fast_options (fig4_circuit ()) in
+  let p = f.Flow.placement in
+  Alcotest.(check int) "sa_accepted matches placement record"
+    p.Tqec_place.Place25d.sa_accepted
+    (Flow.stage_counter f "placement" "sa_accepted");
+  (match f.Flow.bridge with
+   | Some b ->
+       Alcotest.(check int) "merges counter matches bridge record"
+         b.Tqec_bridge.Bridge.merges
+         (Flow.stage_counter f "bridging" "merges")
+   | None -> Alcotest.fail "bridging enabled but no bridge record");
+  Alcotest.(check int) "ripup_passes matches routing record"
+    f.Flow.routing.Tqec_route.Router.iterations_used
+    (Flow.stage_counter f "routing" "ripup_passes");
+  Alcotest.(check int) "nets_routed counter matches"
+    (List.length f.Flow.routing.Tqec_route.Router.routed)
+    (Flow.stage_counter f "routing" "nets_routed");
+  Alcotest.(check bool) "astar expansions recorded" true
+    (Flow.stage_counter f "routing" "astar_expansions" > 0)
+
+let test_stages_independently_callable () =
+  (* Driving the four stages by hand — with instrumentation fully disabled
+     via the noop sink — must reproduce Flow.run bit-for-bit. *)
+  let circuit = fig4_circuit () in
+  let composed = Flow.run ~options:fast_options circuit in
+  let noop = Trace.noop in
+  let pre = Flow.Preprocess.run ~trace:noop circuit in
+  let br =
+    Flow.Bridging.run ~trace:noop
+      { Flow.Bridging.bridging = fast_options.Flow.bridging;
+        modular = pre.Flow.Preprocess.modular }
+  in
+  let pl =
+    Flow.Placement.run ~trace:noop
+      { Flow.Placement.primal_groups = fast_options.Flow.primal_groups;
+        max_group_size = fast_options.Flow.max_group_size;
+        config = fast_options.Flow.place;
+        modular = pre.Flow.Preprocess.modular;
+        nets = br.Flow.Bridging.nets }
+  in
+  let routing =
+    Flow.Routing.run ~trace:noop
+      { Flow.Routing.config =
+          { fast_options.Flow.route with
+            Tqec_route.Router.friend_aware =
+              fast_options.Flow.friend_aware && fast_options.Flow.bridging };
+        placement = pl.Flow.Placement.placement;
+        nets = br.Flow.Bridging.nets }
+  in
+  Alcotest.(check int) "same volume" composed.Flow.volume
+    routing.Tqec_route.Router.volume;
+  Alcotest.(check int) "same routed count"
+    (List.length composed.Flow.routing.Tqec_route.Router.routed)
+    (List.length routing.Tqec_route.Router.routed);
+  Alcotest.(check int) "same rip-up iterations"
+    composed.Flow.routing.Tqec_route.Router.iterations_used
+    routing.Tqec_route.Router.iterations_used;
+  Alcotest.(check int) "same net count" (Flow.num_nets composed)
+    (List.length br.Flow.Bridging.nets)
+
+let test_metrics_json () =
+  let f = Flow.run ~options:fast_options (fig4_circuit ()) in
+  let json = Flow.metrics_json f in
+  let module Json = Tqec_obs.Json in
+  Alcotest.(check bool) "volume" true
+    (Json.path [ "volume" ] json = Some (Json.Int f.Flow.volume));
+  List.iter
+    (fun stage ->
+      match Json.path [ "stage_durations_s"; stage ] json with
+      | Some (Json.Float _) -> ()
+      | _ -> Alcotest.fail ("missing stage duration " ^ stage))
+    Flow.stage_names;
+  List.iter
+    (fun counter ->
+      match Json.path [ "counters"; counter ] json with
+      | Some (Json.Int _) -> ()
+      | _ -> Alcotest.fail ("missing counter " ^ counter))
+    [ "placement/sa_accepted"; "placement/sa_rejected"; "routing/astar_expansions";
+      "routing/ripup_passes"; "bridging/merges" ];
+  (* The whole payload survives render -> parse. *)
+  match Json.of_string (Json.to_string ~pretty:true json) with
+  | Ok parsed -> Alcotest.(check bool) "round-trips" true (Json.equal json parsed)
+  | Error msg -> Alcotest.fail msg
+
 let test_scale_options () =
   let o = Flow.scale_options ~sa_iterations:123 ~route_iterations:7 Flow.default_options in
   Alcotest.(check int) "sa" 123 o.Flow.place.Tqec_place.Place25d.sa.Tqec_place.Sa.iterations;
@@ -103,4 +223,10 @@ let suites =
         Alcotest.test_case "conference mode" `Quick test_flow_conference_mode;
         Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
         Alcotest.test_case "breakdown" `Quick test_flow_breakdown_sums;
+        Alcotest.test_case "stage traces exist" `Quick test_stage_traces_exist;
+        Alcotest.test_case "breakdown from trace" `Quick test_breakdown_derived_from_trace;
+        Alcotest.test_case "stage counters" `Quick test_stage_counters;
+        Alcotest.test_case "stages independently callable" `Quick
+          test_stages_independently_callable;
+        Alcotest.test_case "metrics json" `Quick test_metrics_json;
         Alcotest.test_case "scale options" `Quick test_scale_options ] ) ]

@@ -1,0 +1,206 @@
+module Trace = Tqec_obs.Trace
+module Json = Tqec_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let root = Trace.root "flow" in
+  let a = Trace.span root "a" in
+  let a1 = Trace.span a "inner" in
+  Trace.close a1;
+  Trace.close a;
+  let b = Trace.span root "b" in
+  Trace.close b;
+  Trace.close root;
+  Alcotest.(check (list string)) "children in creation order" [ "a"; "b" ]
+    (List.map Trace.name (Trace.children root));
+  (match Trace.find root [ "a"; "inner" ] with
+   | Some s -> Alcotest.(check string) "nested find" "inner" (Trace.name s)
+   | None -> Alcotest.fail "find [a; inner] returned None");
+  Alcotest.(check bool) "missing path" true (Trace.find root [ "a"; "b" ] = None);
+  Alcotest.(check bool) "root duration >= child" true
+    (Trace.duration_s root >= Trace.duration_s a)
+
+let test_close_idempotent_and_recursive () =
+  let root = Trace.root "r" in
+  let child = Trace.span root "open-child" in
+  Trace.close root;
+  (* child was still open: closing the root freezes it too *)
+  let d1 = Trace.duration_s child in
+  let d2 = Trace.duration_s child in
+  Alcotest.(check (float 0.0)) "child frozen by root close" d1 d2;
+  let dr = Trace.duration_s root in
+  Trace.close root;
+  Alcotest.(check (float 0.0)) "second close is a no-op" dr (Trace.duration_s root)
+
+let test_with_span () =
+  let root = Trace.root "r" in
+  let result = Trace.with_span root "work" (fun s -> Trace.incr s "steps"; 17) in
+  Alcotest.(check int) "result passed through" 17 result;
+  (try
+     ignore
+       (Trace.with_span root "boom" (fun _ -> failwith "x") : int)
+   with Failure _ -> ());
+  Trace.close root;
+  Alcotest.(check (list string)) "spans recorded, also on exception"
+    [ "work"; "boom" ]
+    (List.map Trace.name (Trace.children root))
+
+(* ------------------------------------------------------------------ *)
+(* Counters, gauges, distributions                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_accumulation () =
+  let s = Trace.root "s" in
+  Trace.incr s "hits";
+  Trace.incr s "hits";
+  Trace.incr ~n:40 s "hits";
+  Trace.incr s "other";
+  Alcotest.(check int) "accumulated" 42 (Trace.counter s "hits");
+  Alcotest.(check int) "absent counter is 0" 0 (Trace.counter s "nope");
+  Alcotest.(check (list (pair string int))) "sorted listing"
+    [ ("hits", 42); ("other", 1) ] (Trace.counters s)
+
+let test_gauges_and_dists () =
+  let s = Trace.root "s" in
+  Trace.gauge s "temp" 1.0;
+  Trace.gauge s "temp" 0.5;
+  Alcotest.(check (list (pair string (float 0.0)))) "gauge last-write-wins"
+    [ ("temp", 0.5) ] (Trace.gauges s);
+  Trace.observe s "delta" 2.0;
+  Trace.observe s "delta" (-1.0);
+  Trace.observe s "delta" 5.0;
+  match Trace.dists s with
+  | [ ("delta", d) ] ->
+      Alcotest.(check int) "n" 3 d.Trace.n;
+      Alcotest.(check (float 1e-9)) "sum" 6.0 d.Trace.sum;
+      Alcotest.(check (float 1e-9)) "min" (-1.0) d.Trace.min_v;
+      Alcotest.(check (float 1e-9)) "max" 5.0 d.Trace.max_v
+  | other -> Alcotest.fail (Printf.sprintf "expected one dist, got %d" (List.length other))
+
+let test_flat_counters () =
+  let root = Trace.root "flow" in
+  Trace.incr ~n:1 root "top";
+  let a = Trace.span root "stage" in
+  Trace.incr ~n:2 a "work";
+  let b = Trace.span a "sub" in
+  Trace.incr ~n:3 b "work";
+  Trace.close root;
+  Alcotest.(check (list (pair string int))) "path-prefixed, sorted"
+    [ ("stage/sub/work", 3); ("stage/work", 2); ("top", 1) ]
+    (Trace.flat_counters root)
+
+(* ------------------------------------------------------------------ *)
+(* The no-op sink                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_noop_sink () =
+  let s = Trace.noop in
+  Alcotest.(check bool) "disabled" false (Trace.enabled s);
+  let child = Trace.span s "child" in
+  Alcotest.(check bool) "noop children are noop" false (Trace.enabled child);
+  (* Recording on the sink must allocate no state and observe nothing. *)
+  Trace.incr ~n:1000 s "hits";
+  Trace.gauge s "g" 1.0;
+  Trace.observe s "d" 1.0;
+  Trace.close s;
+  Alcotest.(check int) "counter stays 0" 0 (Trace.counter s "hits");
+  Alcotest.(check bool) "no counters" true (Trace.counters s = []);
+  Alcotest.(check bool) "no children" true (Trace.children s = []);
+  Alcotest.(check (float 0.0)) "no duration" 0.0 (Trace.duration_s s);
+  Alcotest.(check string) "no text" "" (Trace.to_text s);
+  Alcotest.(check bool) "null json" true (Json.equal Json.Null (Trace.to_json s));
+  Alcotest.(check int) "with_span still runs f" 3
+    (Trace.with_span s "x" (fun _ -> 3))
+
+let test_noop_is_free () =
+  (* The sink must not accumulate memory no matter how much is thrown at
+     it — a million increments leave the heap untouched. *)
+  let s = Trace.noop in
+  let before = (Gc.quick_stat ()).Gc.minor_words in
+  for _ = 1 to 1_000_000 do
+    Trace.incr s "hot"
+  done;
+  let after = (Gc.quick_stat ()).Gc.minor_words in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation-free hot loop (%.0f words)" (after -. before))
+    true
+    (after -. before < 1000.0)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_json =
+  Json.Obj
+    [ ("name", Json.String "flow \"quoted\"\n");
+      ("count", Json.Int 42);
+      ("neg", Json.Int (-7));
+      ("ratio", Json.Float 0.5);
+      ("tiny", Json.Float 1.5e-9);
+      ("flag", Json.Bool true);
+      ("off", Json.Bool false);
+      ("nothing", Json.Null);
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+      ("items", Json.List [ Json.Int 1; Json.String "two"; Json.List [ Json.Null ] ]) ]
+
+let test_json_round_trip () =
+  List.iter
+    (fun pretty ->
+      match Json.of_string (Json.to_string ~pretty sample_json) with
+      | Ok parsed ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trip (pretty=%b)" pretty)
+            true
+            (Json.equal sample_json parsed)
+      | Error msg -> Alcotest.fail msg)
+    [ false; true ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun input ->
+      match Json.of_string input with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" input)
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_trace_json_round_trips () =
+  let root = Trace.root "flow" in
+  let stage = Trace.span root "stage" in
+  Trace.incr ~n:5 stage "hits";
+  Trace.gauge stage "cost" 1.25;
+  Trace.observe stage "delta" 3.0;
+  Trace.close root;
+  let json = Trace.to_json root in
+  (match Json.path [ "children" ] json with
+   | Some (Json.List [ child ]) ->
+       Alcotest.(check bool) "counter in json" true
+         (Json.path [ "counters"; "hits" ] child = Some (Json.Int 5));
+       Alcotest.(check bool) "gauge in json" true
+         (Json.path [ "gauges"; "cost" ] child = Some (Json.Float 1.25));
+       Alcotest.(check bool) "dist n in json" true
+         (Json.path [ "dists"; "delta"; "n" ] child = Some (Json.Int 1))
+   | _ -> Alcotest.fail "expected one child in trace json");
+  match Json.of_string (Json.to_string ~pretty:true json) with
+  | Ok parsed ->
+      Alcotest.(check bool) "rendered trace json round-trips" true
+        (Json.equal json parsed)
+  | Error msg -> Alcotest.fail msg
+
+let suites =
+  [ ( "obs.trace",
+      [ Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "close semantics" `Quick test_close_idempotent_and_recursive;
+        Alcotest.test_case "with_span" `Quick test_with_span;
+        Alcotest.test_case "counter accumulation" `Quick test_counter_accumulation;
+        Alcotest.test_case "gauges and dists" `Quick test_gauges_and_dists;
+        Alcotest.test_case "flat counters" `Quick test_flat_counters;
+        Alcotest.test_case "noop sink" `Quick test_noop_sink;
+        Alcotest.test_case "noop is free" `Quick test_noop_is_free ] );
+    ( "obs.json",
+      [ Alcotest.test_case "round trip" `Quick test_json_round_trip;
+        Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "trace json" `Quick test_trace_json_round_trips ] ) ]
