@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check fuzz bench clean
 
 all: build
 
@@ -8,13 +8,21 @@ build:
 test:
 	dune runtest
 
-# Full gate: build, tests, then a smoke run of the CLI that must produce a
-# parseable metrics file with every stage duration and counter present.
+# Full gate: build, tests, a smoke run of the CLI that must produce a
+# parseable metrics file with every stage duration and counter present,
+# then a fixed-seed differential fuzzing pass.
 check: build
 	dune runtest
 	dune exec bin/tqec_compress.exe -- --benchmark 4gt10-v1_81 \
 	  --trace --metrics-json _build/metrics_smoke.json
 	dune exec bin/tqec_metrics_check.exe -- _build/metrics_smoke.json
+	$(MAKE) fuzz
+
+# Deterministic property-based fuzzing: random circuits through the whole
+# pipeline, checked by the independent layout oracle (lib/verify). A failure
+# prints the seed that replays it and exits non-zero.
+fuzz: build
+	dune exec bin/tqec_fuzz.exe -- --seed 1 --count 100
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,66 @@
+(* Property-based fuzzing driver: random circuits through the full pipeline,
+   checked against the differential properties of Tqec_fuzzing.Props. Exits
+   non-zero on the first counterexample and prints the exact command line
+   that replays it. *)
+
+open Cmdliner
+module Props = Tqec_fuzzing.Props
+module Property = Tqec_proptest.Property
+
+let run seed count max_qubits max_gates prop_filter =
+  let props = Props.all ~max_qubits ~max_gates in
+  let props =
+    match prop_filter with
+    | None -> props
+    | Some p -> List.filter (fun pr -> Props.name pr = p) props
+  in
+  if props = [] then begin
+    Printf.eprintf "unknown property %s; available: %s\n"
+      (Option.value ~default:"" prop_filter)
+      (String.concat ", " (List.map Props.name (Props.all ~max_qubits ~max_gates)));
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun p ->
+      if not !failed then begin
+        Printf.printf "%-24s " (Props.name p);
+        flush stdout;
+        match Props.run_prop ~count ~seed p with
+        | Property.Pass { cases; _ } -> Printf.printf "ok (%d cases)\n" cases
+        | Property.Fail f ->
+            failed := true;
+            Printf.printf "FAILED\n%s\n" (Property.describe f);
+            Printf.printf
+              "replay: tqec_fuzz --seed %d --count %d --max-qubits %d \
+               --max-gates %d --prop %s\n"
+              f.Property.seed f.Property.count max_qubits max_gates
+              (Props.name p)
+      end)
+    props;
+  if !failed then exit 1
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed; every failure replays from it.")
+
+let count =
+  Arg.(value & opt int 100 & info [ "count" ] ~doc:"Cases per property.")
+
+let max_qubits =
+  Arg.(value & opt int 6 & info [ "max-qubits" ] ~doc:"Upper bound on generated qubit counts.")
+
+let max_gates =
+  Arg.(value & opt int 20 & info [ "max-gates" ] ~doc:"Upper bound on generated gate counts.")
+
+let prop =
+  Arg.(value & opt (some string) None & info [ "prop" ] ~docv:"NAME"
+         ~doc:"Run a single property (decomposition-semantics, volume-vs-lin,
+               oracle-agreement).")
+
+let cmd =
+  let doc = "property-based fuzzing of the compression pipeline" in
+  Cmd.v
+    (Cmd.info "tqec_fuzz" ~doc)
+    Term.(const run $ seed $ count $ max_qubits $ max_gates $ prop)
+
+let () = exit (Cmd.eval cmd)

@@ -545,6 +545,15 @@ let naive_nets m =
     m.Modular.loops;
   List.rev !nets
 
+let nets_of_loop r l = List.filter (fun n -> n.loop = l) r.nets
+
+let structure_of_loop r l =
+  List.find_opt (fun s -> List.mem l s.loops) r.structures
+  |> Option.map (fun s -> s.structure_id)
+
+let chains_of_loop r l =
+  List.filter (fun c -> List.mem l c.chain_loops) r.chains
+
 let friend_groups nets =
   let by_pin = Hashtbl.create 64 in
   List.iter

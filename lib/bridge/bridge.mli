@@ -48,6 +48,17 @@ val naive_nets : Tqec_modular.Modular.t -> net list
 (** The nets obtained *without* bridging (three per CNOT loop) — the
     "w/o bridging" ablation of Table V. *)
 
+val nets_of_loop : result -> int -> net list
+(** Nets generated for the given loop, in emission order. Duplicate nets
+    are elided globally, so a net shared between merged loops appears only
+    under the loop that first emitted it. *)
+
+val structure_of_loop : result -> int -> int option
+(** The bridge structure the loop was merged into, if any. *)
+
+val chains_of_loop : result -> int -> chain_view list
+(** The final alive chains participating in the loop's reconstruction. *)
+
 val friend_groups : net list -> (int * int list) list
 (** Groups of nets sharing a pin: [(pin, net ids)] for every pin incident to
     two or more nets. These are the friend nets of §III-D2. *)

@@ -1,0 +1,75 @@
+module Gen = Tqec_proptest.Gen
+module Shrink = Tqec_proptest.Shrink
+module Property = Tqec_proptest.Property
+module Gate = Tqec_circuit.Gate
+module Circuit = Tqec_circuit.Circuit
+
+(* Distinct qubits, drawn in a fixed left-to-right order so a case seed
+   always regenerates the same gate. *)
+let distinct2 n rng =
+  let q1 = Gen.int_bound n rng in
+  let q2 = (q1 + 1 + Gen.int_bound (n - 1) rng) mod n in
+  (q1, q2)
+
+let distinct3 n rng =
+  let q1, q2 = distinct2 n rng in
+  let r = Gen.int_bound (n - 2) rng in
+  (* the r-th qubit outside {q1, q2} *)
+  let rec pick i r =
+    if i = q1 || i = q2 then pick (i + 1) r
+    else if r = 0 then i
+    else pick (i + 1) (r - 1)
+  in
+  (q1, q2, pick 0 r)
+
+let gate ~num_qubits =
+  let n = num_qubits in
+  if n < 2 then invalid_arg "Circuit_gen.gate: need at least 2 qubits";
+  let g1 f = Gen.map f (Gen.int_bound n) in
+  let two f rng =
+    let a, b = distinct2 n rng in
+    f a b
+  in
+  let three f rng =
+    let a, b, c = distinct3 n rng in
+    f a b c
+  in
+  let single =
+    [ (2, g1 (fun q -> Gate.T q));
+      (1, g1 (fun q -> Gate.Tdag q));
+      (2, g1 (fun q -> Gate.H q));
+      (1, g1 (fun q -> Gate.P q));
+      (1, g1 (fun q -> Gate.Pdag q));
+      (1, g1 (fun q -> Gate.V q));
+      (1, g1 (fun q -> Gate.Vdag q));
+      (1, g1 (fun q -> Gate.Not q));
+      (1, g1 (fun q -> Gate.Z q)) ]
+  in
+  let multi =
+    if n >= 3 then
+      [ (6, two (fun control target -> Gate.Cnot { control; target }));
+        (2, three (fun c1 c2 target -> Gate.Toffoli { c1; c2; target }));
+        (1, three (fun control a b -> Gate.Fredkin { control; a; b })) ]
+    else [ (6, two (fun control target -> Gate.Cnot { control; target })) ]
+  in
+  Gen.frequency (multi @ single)
+
+let circuit ?(min_qubits = 2) ~max_qubits ~max_gates () rng =
+  let n = Gen.int_range min_qubits max_qubits rng in
+  let len = Gen.int_range 1 max_gates rng in
+  let gates = Gen.list_n len (gate ~num_qubits:n) rng in
+  Circuit.make ~name:"fuzz" ~num_qubits:n gates
+
+(* Removing gates never invalidates a circuit, so shrink the gate list only
+   and rebuild by record update (the qubit count is unchanged). *)
+let shrink c =
+  Seq.map
+    (fun gates -> { c with Circuit.gates })
+    (Shrink.list c.Circuit.gates)
+
+let print c =
+  Printf.sprintf "%d qubits: %s" c.Circuit.num_qubits
+    (String.concat "; " (List.map Gate.to_string c.Circuit.gates))
+
+let arbitrary ?min_qubits ~max_qubits ~max_gates () =
+  Property.make ~shrink ~print (circuit ?min_qubits ~max_qubits ~max_gates ())

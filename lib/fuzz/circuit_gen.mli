@@ -1,0 +1,34 @@
+(** Random-circuit generation for the fuzzing harness.
+
+    Bounded circuits over the full input gate set (NOT / CNOT / Toffoli /
+    Fredkin plus the single-qubit gates H, P, P†, V, V†, T, T†, Z), with
+    multi-qubit gates drawn on distinct qubits so that every generated
+    circuit passes [Circuit.make] validation. Generation is weighted toward
+    CNOT and Toffoli — the gates that create dual loops and thus exercise
+    bridging, placement and routing. *)
+
+val gate : num_qubits:int -> Tqec_circuit.Gate.t Tqec_proptest.Gen.t
+(** A single random gate on [num_qubits ≥ 2] qubits; Toffoli/Fredkin only
+    appear from three qubits up. *)
+
+val circuit :
+  ?min_qubits:int ->
+  max_qubits:int ->
+  max_gates:int ->
+  unit ->
+  Tqec_circuit.Circuit.t Tqec_proptest.Gen.t
+(** A circuit with [min_qubits] (default 2) to [max_qubits] qubits and 1 to
+    [max_gates] gates. *)
+
+val shrink : Tqec_circuit.Circuit.t Tqec_proptest.Shrink.t
+(** Shrinks the gate list (chunk removals, then single-gate removals); the
+    qubit count is kept, so every candidate is still a valid circuit. *)
+
+val print : Tqec_circuit.Circuit.t -> string
+
+val arbitrary :
+  ?min_qubits:int ->
+  max_qubits:int ->
+  max_gates:int ->
+  unit ->
+  Tqec_circuit.Circuit.t Tqec_proptest.Property.arbitrary

@@ -1,0 +1,50 @@
+(** The differential properties checked by the fuzzing harness.
+
+    Three end-to-end properties over random circuits:
+    - [decomposition-semantics]: gate decomposition preserves the circuit's
+      function up to a global phase, checked on all basis states with the
+      state-vector simulator (qubit count capped at 8);
+    - [volume-vs-lin]: the bridge-compressed space-time volume never exceeds
+      the [Lin] 1-D baseline's. Circuits whose decomposition has fewer than
+      {!volume_t_threshold} T gates are vacuously accepted: the flow places
+      real distillation boxes while [Lin] only adds a volume lower bound, so
+      below that regime the comparison measures fixed overhead, not
+      compression;
+    - [oracle-agreement]: the pipeline's own [Flow.validate] and the
+      independent [Tqec_verify] oracle agree on every emitted layout — both
+      accept a fully routed result, and when the router exhausts its budget
+      and leaves nets unrouted, both reject (the oracle rediscovering the
+      failure from raw geometry alone).
+
+    Pipeline properties pair the circuit with a placement-seed salt so the
+    annealer explores a different trajectory per case. *)
+
+type prop =
+  | Prop :
+      string * 'a Tqec_proptest.Property.arbitrary * ('a -> bool)
+      -> prop
+      (** A named property: generator + predicate, existentially packed so
+          heterogeneous properties run from one driver loop. *)
+
+val name : prop -> string
+
+val fast_options : Tqec_core.Flow.options
+(** Reduced SA / rerouting budgets sized for many small circuits per run. *)
+
+val options_with_seed : int -> Tqec_core.Flow.options
+(** [fast_options] with the placement seed replaced. *)
+
+val verify_input_of_flow : Tqec_core.Flow.t -> Tqec_verify.Verify.input
+
+val volume_t_threshold : int
+(** Minimum decomposed T count for a non-vacuous [volume-vs-lin] case. *)
+
+val semantics : max_qubits:int -> max_gates:int -> prop
+val volume : max_qubits:int -> max_gates:int -> prop
+val oracle : max_qubits:int -> max_gates:int -> prop
+
+val all : max_qubits:int -> max_gates:int -> prop list
+(** The three properties, in the order above. *)
+
+val run_prop :
+  ?count:int -> ?seed:int -> prop -> Tqec_proptest.Property.outcome

@@ -299,6 +299,14 @@ let module_box p m =
   let d, w, h = p.cluster.Cluster.modular.Modular.modules.(m).Modular.dims in
   Cuboid.of_origin_size p.module_pos.(m) ~w ~h ~d
 
+let module_boxes p =
+  List.init (Array.length p.module_pos) (fun m -> (m, module_box p m))
+
+let pin_positions p =
+  List.init
+    (Array.length p.cluster.Cluster.modular.Modular.pins)
+    (fun i -> (i, pin_position p i))
+
 let check_time_ordering p =
   let err fmt = Printf.ksprintf (fun s : (unit, string) Stdlib.result -> Error s) fmt in
   let bad = ref None in

@@ -57,6 +57,14 @@ val pin_position : placement -> int -> Tqec_geom.Point3.t
 
 val module_box : placement -> int -> Tqec_geom.Cuboid.t
 
+val module_boxes : placement -> (int * Tqec_geom.Cuboid.t) list
+(** [(module_id, box)] for every module, in id order. Box x extents are
+    absolute time coordinates (x = time axis). Read-only view for layout
+    inspection and the independent oracle ([tqec_verify]). *)
+
+val pin_positions : placement -> (int * Tqec_geom.Point3.t) list
+(** Absolute position of every pin after placement, in pin-id order. *)
+
 val check_time_ordering : placement -> (unit, string) Stdlib.result
 (** Verify the inter-gadget constraint: along every TSL the super-modules
     appear in strictly increasing time order. *)

@@ -1,0 +1,70 @@
+module Rng = Tqec_prelude.Rng
+
+type 'a t = Rng.t -> 'a
+
+let run g rng = g rng
+
+let const x _ = x
+
+let int_range lo hi =
+  if hi < lo then invalid_arg "Gen.int_range: hi < lo";
+  fun rng -> lo + Rng.int rng (hi - lo + 1)
+
+let int_bound bound rng = Rng.int rng bound
+
+let bool rng = Rng.bool rng
+
+let float_range lo hi rng = lo +. Rng.float rng (hi -. lo)
+
+let map f g rng = f (g rng)
+
+(* Draw order is fixed left-to-right so a seed always replays the same
+   value, whatever the evaluation order of the surrounding code. *)
+let map2 f a b rng =
+  let x = a rng in
+  let y = b rng in
+  f x y
+
+let bind g f rng =
+  let x = g rng in
+  f x rng
+
+let pair a b = map2 (fun x y -> (x, y)) a b
+
+let triple a b c rng =
+  let x = a rng in
+  let y = b rng in
+  let z = c rng in
+  (x, y, z)
+
+let oneof gens =
+  if gens = [] then invalid_arg "Gen.oneof: empty list";
+  let arr = Array.of_list gens in
+  fun rng -> arr.(Rng.int rng (Array.length arr)) rng
+
+let oneofl xs = oneof (List.map const xs)
+
+let frequency weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Gen.frequency: non-positive total weight";
+  fun rng ->
+    let roll = Rng.int rng total in
+    let rec pick acc = function
+      | [] -> invalid_arg "Gen.frequency: unreachable"
+      | (w, g) :: rest -> if roll < acc + w then g rng else pick (acc + w) rest
+    in
+    pick 0 weighted
+
+let list_n n g rng =
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (g rng :: acc) in
+  go n []
+
+let list ~max_len g = bind (int_range 0 max_len) (fun n -> list_n n g)
+
+let array_n n g rng = Array.of_list (list_n n g rng)
+
+let char_range lo hi = map Char.chr (int_range (Char.code lo) (Char.code hi))
+
+let string ~max_len c =
+  map (fun chars -> String.init (List.length chars) (List.nth chars))
+    (list ~max_len c)

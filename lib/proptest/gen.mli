@@ -1,0 +1,56 @@
+(** Deterministic value generators for property-based testing.
+
+    A generator is a function of an explicit {!Tqec_prelude.Rng.t}
+    (SplitMix64), so every generated value — and therefore every test
+    failure — replays exactly from a single integer seed. Combinators draw
+    from the generator argument in a fixed left-to-right order; nothing here
+    touches global state. *)
+
+type 'a t = Tqec_prelude.Rng.t -> 'a
+
+val run : 'a t -> Tqec_prelude.Rng.t -> 'a
+
+val const : 'a -> 'a t
+
+val int_range : int -> int -> int t
+(** [int_range lo hi] is uniform in the inclusive range [\[lo, hi\]].
+    @raise Invalid_argument when [hi < lo]. *)
+
+val int_bound : int -> int t
+(** Uniform in [\[0, bound)]; [bound] must be positive. *)
+
+val bool : bool t
+
+val float_range : float -> float -> float t
+(** Uniform in [\[lo, hi)]. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val oneof : 'a t list -> 'a t
+(** Pick one generator uniformly. The list must be non-empty. *)
+
+val oneofl : 'a list -> 'a t
+(** Pick one value uniformly. The list must be non-empty. *)
+
+val frequency : (int * 'a t) list -> 'a t
+(** Weighted choice; weights must be non-negative with a positive sum. *)
+
+val list_n : int -> 'a t -> 'a list t
+(** Exactly [n] elements, generated left to right. *)
+
+val list : max_len:int -> 'a t -> 'a list t
+(** Length uniform in [\[0, max_len\]], then elements left to right. *)
+
+val array_n : int -> 'a t -> 'a array t
+
+val string : max_len:int -> char t -> string t
+
+val char_range : char -> char -> char t

@@ -1,0 +1,103 @@
+module Rng = Tqec_prelude.Rng
+
+type 'a arbitrary = {
+  gen : 'a Gen.t;
+  shrink : 'a Shrink.t;
+  print : 'a -> string;
+}
+
+let make ?(shrink = Shrink.nothing) ?(print = fun _ -> "<opaque>") gen =
+  { gen; shrink; print }
+
+type failure = {
+  name : string;
+  seed : int;
+  count : int;
+  case_index : int;
+  case_seed : int;
+  shrink_steps : int;
+  counterexample : string;
+  error : string option;
+}
+
+type outcome =
+  | Pass of { name : string; cases : int }
+  | Fail of failure
+
+(* [Ok ()] when the property holds; a raised exception fails the case. *)
+let eval prop x =
+  match prop x with
+  | true -> Ok ()
+  | false -> Error None
+  | exception e -> Error (Some (Printexc.to_string e))
+
+let max_shrink_steps = 1000
+
+let shrink_to_fixpoint arb prop x err =
+  let cur = ref x and cur_err = ref err and steps = ref 0 in
+  let progress = ref true in
+  while !progress && !steps < max_shrink_steps do
+    let rec first_failing s =
+      match s () with
+      | Seq.Nil -> None
+      | Seq.Cons (c, rest) -> (
+          match eval prop c with
+          | Ok () -> first_failing rest
+          | Error e -> Some (c, e))
+    in
+    match first_failing (arb.shrink !cur) with
+    | None -> progress := false
+    | Some (c, e) ->
+        cur := c;
+        cur_err := e;
+        incr steps
+  done;
+  (!cur, !cur_err, !steps)
+
+let regen arb case_seed = arb.gen (Rng.create case_seed)
+
+let run ?(count = 100) ?(seed = 1) ~name arb prop =
+  let master = Rng.create seed in
+  let failure = ref None in
+  let i = ref 0 in
+  while !failure = None && !i < count do
+    (* Mask to a non-negative int so the printed seed feeds Rng.create. *)
+    let case_seed = Int64.to_int (Rng.int64 master) land max_int in
+    let x = arb.gen (Rng.create case_seed) in
+    (match eval prop x with
+     | Ok () -> ()
+     | Error err ->
+         let shrunk, err, steps = shrink_to_fixpoint arb prop x err in
+         failure :=
+           Some
+             { name;
+               seed;
+               count;
+               case_index = !i;
+               case_seed;
+               shrink_steps = steps;
+               counterexample = arb.print shrunk;
+               error = err });
+    incr i
+  done;
+  match !failure with
+  | None -> Pass { name; cases = count }
+  | Some f -> Fail f
+
+let describe f =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "property %S failed on case %d/%d%s\n" f.name
+       (f.case_index + 1) f.count
+       (match f.error with None -> "" | Some e -> " (raised " ^ e ^ ")"));
+  Buffer.add_string b
+    (Printf.sprintf "counterexample (after %d shrink steps):\n%s\n"
+       f.shrink_steps f.counterexample);
+  Buffer.add_string b
+    (Printf.sprintf "replay: seed %d regenerates the unshrunk input; --seed %d --count %d re-runs the batch"
+       f.case_seed f.seed f.count);
+  Buffer.contents b
+
+let check = function
+  | Pass _ -> Ok ()
+  | Fail f -> Error (describe f)

@@ -1,0 +1,49 @@
+(** Property runner with deterministic replay.
+
+    Each case draws a fresh [case_seed] from a master SplitMix64 stream
+    seeded by [seed], then generates the input from [Rng.create case_seed].
+    A failure therefore replays two ways: re-run the whole batch with the
+    same [seed] and [count], or regenerate the failing input directly with
+    {!regen} from the printed [case_seed]. Counterexamples are shrunk greedily
+    with the arbitrary's shrinker before reporting. *)
+
+type 'a arbitrary = {
+  gen : 'a Gen.t;
+  shrink : 'a Shrink.t;
+  print : 'a -> string;
+}
+
+val make : ?shrink:'a Shrink.t -> ?print:('a -> string) -> 'a Gen.t -> 'a arbitrary
+(** [shrink] defaults to {!Shrink.nothing}, [print] to an opaque marker. *)
+
+type failure = {
+  name : string;
+  seed : int;           (** master seed of the run *)
+  count : int;          (** cases requested for the run *)
+  case_index : int;     (** 0-based index of the failing case *)
+  case_seed : int;      (** regenerates the failing input via {!regen} *)
+  shrink_steps : int;   (** successful shrink iterations applied *)
+  counterexample : string;  (** printed (shrunk) failing input *)
+  error : string option;    (** the exception, when the property raised *)
+}
+
+type outcome =
+  | Pass of { name : string; cases : int }
+  | Fail of failure
+
+val run :
+  ?count:int -> ?seed:int -> name:string -> 'a arbitrary -> ('a -> bool) -> outcome
+(** Evaluate the property on [count] (default 100) generated cases. A
+    property that raises fails the case; the exception is captured in
+    [error]. Deterministic: equal [(seed, count)] always yields the same
+    outcome. *)
+
+val regen : 'a arbitrary -> int -> 'a
+(** [regen arb case_seed] rebuilds the input of a failing case (before
+    shrinking) from the seed printed in its {!failure}. *)
+
+val describe : failure -> string
+(** Multi-line human-readable report including the replay seeds. *)
+
+val check : outcome -> (unit, string) result
+(** [Ok ()] on [Pass], [Error (describe f)] on [Fail f]. *)

@@ -1,0 +1,59 @@
+type 'a t = 'a -> 'a Seq.t
+
+let nothing _ = Seq.empty
+
+let int x =
+  if x = 0 then Seq.empty
+  else begin
+    let step = if x > 0 then x - 1 else x + 1 in
+    let candidates = [ 0; x / 2; step ] in
+    (* Dedup while keeping the boldest candidate first. *)
+    let rec uniq seen = function
+      | [] -> []
+      | c :: rest ->
+          if List.mem c seen || c = x then uniq seen rest
+          else c :: uniq (c :: seen) rest
+    in
+    List.to_seq (uniq [] candidates)
+  end
+
+let list ?(elt = nothing) l =
+  let arr = Array.of_list l in
+  let n = Array.length arr in
+  if n = 0 then Seq.empty
+  else begin
+    let without i k =
+      (* The list minus the chunk [i, i+k). *)
+      let out = ref [] in
+      for j = n - 1 downto 0 do
+        if j < i || j >= i + k then out := arr.(j) :: !out
+      done;
+      !out
+    in
+    let removals = ref [] in
+    let k = ref n in
+    while !k >= 1 do
+      let i = ref 0 in
+      while !i + !k <= n do
+        removals := without !i !k :: !removals;
+        i := !i + !k
+      done;
+      k := !k / 2
+    done;
+    let with_elt i x =
+      List.init n (fun j -> if j = i then x else arr.(j))
+    in
+    let elementwise =
+      List.concat
+        (List.init n (fun i ->
+             List.of_seq (Seq.map (with_elt i) (elt arr.(i)))))
+    in
+    List.to_seq (List.rev_append !removals elementwise)
+  end
+
+let pair sa sb (a, b) =
+  Seq.append
+    (Seq.map (fun a' -> (a', b)) (sa a))
+    (Seq.map (fun b' -> (a, b')) (sb b))
+
+let map f g s b = Seq.map f (s (g b))

@@ -1,0 +1,26 @@
+(** Shrinkers: candidate simplifications of a failing value.
+
+    A shrinker maps a value to a finite sequence of strictly "smaller"
+    candidates, tried in order. The property runner keeps the first candidate
+    that still fails and iterates, so shrinkers must make progress toward a
+    fixed point (ints move toward 0, lists toward []) or shrinking would
+    loop. *)
+
+type 'a t = 'a -> 'a Seq.t
+
+val nothing : 'a t
+(** No candidates: the value is reported as generated. *)
+
+val int : int t
+(** Toward 0: first 0 itself, then the halved value, then one step closer. *)
+
+val list : ?elt:'a t -> 'a list t
+(** Chunk removals first (whole list, halves, quarters, … single elements),
+    then [elt]-wise shrinking of each position (default {!nothing}). *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+(** Shrink the left component first, then the right. *)
+
+val map : ('a -> 'b) -> ('b -> 'a) -> 'a t -> 'b t
+(** [map f g s] shrinks through an isomorphism: candidates of [b] are
+    [f (s (g b))]. *)

@@ -505,6 +505,9 @@ let route ?(trace = Trace.noop) config placement nets =
     iterations_used = !iterations_used;
     routed_first_iteration = !first_iter_count }
 
+let routed_segments r =
+  List.map (fun rn -> (rn.net.Bridge.net_id, rn.path)) r.routed
+
 module Pset = Set.Make (Point3)
 
 let validate placement result =

@@ -52,6 +52,12 @@ val route :
     attempted/routed/unrouted/ripped counters, plus A* expansion, heap-push
     and rip-up totals on [trace] itself. Recording never affects routing. *)
 
+val routed_segments : result -> (int * Tqec_geom.Point3.t list) list
+(** [(net_id, path)] for every routed net, ordered by net id — the raw
+    geometry view consumed by the independent layout oracle
+    ([tqec_verify]). Paths are shared, not copied; treat them as
+    read-only. *)
+
 val validate :
   Tqec_place.Place25d.placement -> result -> (unit, string) Stdlib.result
 (** Checked invariants: every path is axis-connected; endpoints are the

@@ -1,0 +1,53 @@
+(** Independent layout-verification oracle.
+
+    Re-checks a finished compression result from raw geometry only — module
+    boxes, routed path cells, pin positions, chain membership — on purpose
+    sharing none of the pipeline's own validation code ([Flow.validate],
+    [Router.validate], [Place25d.check_*], [Bridge.validate]). A bug in a
+    hot path and in its paired validator would slip through the pipeline's
+    self-checks; it cannot slip past both implementations at once. Used by
+    the [tqec_fuzz] differential harness and by regression tests that inject
+    deliberate corruption.
+
+    Checks, in reporting order:
+    - [module-overlap]: no two module boxes overlap, established by R-tree
+      insertion with an overlap query before every insert;
+    - [path-geometry]: every routed path is non-empty, axis-contiguous,
+      visits no cell twice, and enters module interiors only at pin cells;
+    - [path-sharing]: a cell used by several nets is crossed by at most one
+      of them as path interior (the rest terminate there — friend
+      terminals), and every path endpoint is one of the net's own pins or a
+      cell shared with another routed net;
+    - [net-connectivity]: for {e every} net — routed or not — its two pin
+      positions are connected by a 6-neighbour BFS over the routed cells of
+      the net's friend closure (nets transitively sharing a pin), so a
+      skipped or dropped net is detected even when the result claims
+      success;
+    - [time-ordering]: along every TSL the super-modules' boxes appear in
+      non-decreasing time order, read from raw module-box coordinates;
+    - [bridge-reconstruction]: with bridging, no net ends on a dead pin and
+      every loop's alive chains are joined by the emitted nets into one
+      connected structure in which every chain of a multi-chain loop is
+      linked at both ends; without bridging, every loop has one net per
+      penetration. *)
+
+type input = {
+  modular : Tqec_modular.Modular.t;
+  placement : Tqec_place.Place25d.placement;
+  routing : Tqec_route.Router.result;
+  nets : Tqec_bridge.Bridge.net list;
+  bridge : Tqec_bridge.Bridge.result option;  (** [None] when bridging was off *)
+}
+
+type report = (string * (unit, string) Stdlib.result) list
+(** One entry per check in {!check_names}, in that order. *)
+
+val check_names : string list
+
+val verify : input -> report
+(** Run every check; later checks still run when earlier ones fail. *)
+
+val ok : report -> bool
+
+val first_error : report -> string option
+(** ["check-name: message"] of the first failing check. *)

@@ -208,6 +208,64 @@ let test_metrics_json () =
   | Ok parsed -> Alcotest.(check bool) "round-trips" true (Json.equal json parsed)
   | Error msg -> Alcotest.fail msg
 
+(* Each corruption of a valid layout must trip its own distinct validator
+   stage: overlapping modules, a net left unrouted, a TSL time-order
+   violation. *)
+let test_validate_failure_paths () =
+  let module P = Tqec_place.Place25d in
+  let module Router = Tqec_route.Router in
+  let module Point3 = Tqec_geom.Point3 in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let c =
+    Circuit.make ~name:"corrupt" ~num_qubits:2
+      [ Gate.T 0; Gate.Cnot { control = 0; target = 1 }; Gate.T 0 ]
+  in
+  let f = Flow.run ~options:fast_options c in
+  (match Flow.validate f with Ok () -> () | Error e -> Alcotest.fail e);
+  let p = f.Flow.placement in
+  let expect_error label needle flow =
+    match Flow.validate flow with
+    | Ok () -> Alcotest.fail (label ^ ": corruption not detected")
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error mentions %S (got %S)" label needle e)
+          true (contains e needle);
+        e
+  in
+  let e_overlap =
+    let pos = Array.copy p.P.module_pos in
+    pos.(1) <- pos.(0);
+    expect_error "overlap" "overlaps"
+      { f with Flow.placement = { p with P.module_pos = pos } }
+  in
+  let e_unrouted =
+    let r = f.Flow.routing in
+    expect_error "unrouted" "unrouted"
+      { f with Flow.routing = { r with Router.failed = [ List.hd f.Flow.nets ] } }
+  in
+  let e_time =
+    let tsl =
+      match
+        Array.find_opt
+          (fun l -> List.length l >= 2)
+          p.P.cluster.Tqec_place.Cluster.tsl
+      with
+      | Some l -> l
+      | None -> Alcotest.fail "expected a TSL with two clusters"
+    in
+    let c1 = List.nth tsl 0 and c2 = List.nth tsl 1 in
+    let cpos = Array.copy p.P.cluster_pos in
+    cpos.(c1) <- { (cpos.(c1)) with Point3.x = cpos.(c2).Point3.x + 5 };
+    expect_error "time-order" "out of order"
+      { f with Flow.placement = { p with P.cluster_pos = cpos } }
+  in
+  Alcotest.(check bool) "three distinct errors" true
+    (e_overlap <> e_unrouted && e_unrouted <> e_time && e_overlap <> e_time)
+
 let test_scale_options () =
   let o = Flow.scale_options ~sa_iterations:123 ~route_iterations:7 Flow.default_options in
   Alcotest.(check int) "sa" 123 o.Flow.place.Tqec_place.Place25d.sa.Tqec_place.Sa.iterations;
@@ -229,4 +287,5 @@ let suites =
         Alcotest.test_case "stages independently callable" `Quick
           test_stages_independently_callable;
         Alcotest.test_case "metrics json" `Quick test_metrics_json;
+        Alcotest.test_case "validate failure paths" `Quick test_validate_failure_paths;
         Alcotest.test_case "scale options" `Quick test_scale_options ] ) ]

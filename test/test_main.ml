@@ -19,6 +19,9 @@ let () =
     @ Test_deform.suites
     @ Test_baseline.suites
     @ Test_core.suites
+    @ Test_proptest.suites
+    @ Test_verify.suites
+    @ Test_fuzz.suites
     @ Test_report.suites
     @ Test_integration.suites
     @ Test_misc.suites)

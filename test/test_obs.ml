@@ -167,6 +167,102 @@ let test_json_parse_errors () =
       | Error _ -> ())
     [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
 
+let test_json_escaped_strings () =
+  let cases =
+    [ ({|"a\"b"|}, "a\"b");
+      ({|"back\\slash"|}, "back\\slash");
+      ({|"sol\/idus"|}, "sol/idus");
+      ({|"\b\f\n\r\t"|}, "\b\012\n\r\t");
+      (* ASCII \u escapes decode; non-ASCII code points are kept literal *)
+      ("\"\\u0041z\"", "Az");
+      ("\"\\u00e9\"", "\\u00e9") ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      match Json.of_string input with
+      | Ok (Json.String s) -> Alcotest.(check string) input expected s
+      | Ok _ -> Alcotest.fail (input ^ " parsed to a non-string")
+      | Error e -> Alcotest.fail (input ^ " failed to parse: " ^ e))
+    cases
+
+let test_json_nested_empty () =
+  match Json.of_string "[[], {}, [{}], {\"a\": []}]" with
+  | Ok v ->
+      Alcotest.(check bool) "nested empty containers" true
+        (Json.equal v
+           (Json.List
+              [ Json.List [];
+                Json.Obj [];
+                Json.List [ Json.Obj [] ];
+                Json.Obj [ ("a", Json.List []) ] ]))
+  | Error e -> Alcotest.fail e
+
+let test_json_exponent_floats () =
+  let cases =
+    [ ("1e3", 1000.0); ("-2.5E-2", -0.025); ("4.0e0", 4.0); ("2E2", 200.0) ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      match Json.of_string input with
+      | Ok (Json.Float f) ->
+          Alcotest.(check (float 1e-12)) input expected f
+      | Ok _ -> Alcotest.fail (input ^ " should parse as Float")
+      | Error e -> Alcotest.fail (input ^ " failed to parse: " ^ e))
+    cases
+
+let test_json_trailing_garbage () =
+  List.iter
+    (fun input ->
+      match Json.of_string input with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" input)
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error mentions trailing data (%s)" input e)
+            true
+            (String.length e >= 8 && String.sub e 0 8 = "trailing"))
+    [ "{} []"; "1,"; "null null"; "[1] x" ]
+
+(* Round-trip as a property under the in-repo framework: any value built
+   from finite floats survives render → parse. *)
+let test_json_round_trip_property () =
+  let module Gen = Tqec_proptest.Gen in
+  let module Property = Tqec_proptest.Property in
+  let scalar =
+    Gen.frequency
+      [ (1, Gen.const Json.Null);
+        (2, Gen.map (fun b -> Json.Bool b) Gen.bool);
+        (3, Gen.map (fun i -> Json.Int (i - 5000)) (Gen.int_bound 10_000));
+        (2, Gen.map (fun f -> Json.Float f) (Gen.float_range (-1e6) 1e6));
+        (3,
+          Gen.map
+            (fun s -> Json.String s)
+            (Gen.string ~max_len:10 (Gen.char_range ' ' '~'))) ]
+  in
+  let key = Gen.string ~max_len:6 (Gen.char_range 'a' 'z') in
+  let rec value depth rng =
+    if depth = 0 then scalar rng
+    else
+      Gen.frequency
+        [ (3, scalar);
+          (1, Gen.map (fun l -> Json.List l) (Gen.list ~max_len:4 (value (depth - 1))));
+          (1,
+            Gen.map
+              (fun kvs -> Json.Obj kvs)
+              (Gen.list ~max_len:4 (Gen.pair key (value (depth - 1))))) ]
+        rng
+  in
+  let arb = Property.make ~print:(Json.to_string ~pretty:false) (value 3) in
+  let outcome =
+    Property.run ~count:200 ~seed:17 ~name:"json-round-trip" arb (fun v ->
+        List.for_all
+          (fun pretty ->
+            match Json.of_string (Json.to_string ~pretty v) with
+            | Ok parsed -> Json.equal v parsed
+            | Error _ -> false)
+          [ false; true ])
+  in
+  match Property.check outcome with Ok () -> () | Error e -> Alcotest.fail e
+
 let test_trace_json_round_trips () =
   let root = Trace.root "flow" in
   let stage = Trace.span root "stage" in
@@ -203,4 +299,9 @@ let suites =
     ( "obs.json",
       [ Alcotest.test_case "round trip" `Quick test_json_round_trip;
         Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "escaped strings" `Quick test_json_escaped_strings;
+        Alcotest.test_case "nested empty containers" `Quick test_json_nested_empty;
+        Alcotest.test_case "exponent floats" `Quick test_json_exponent_floats;
+        Alcotest.test_case "trailing garbage" `Quick test_json_trailing_garbage;
+        Alcotest.test_case "round-trip property" `Quick test_json_round_trip_property;
         Alcotest.test_case "trace json" `Quick test_trace_json_round_trips ] ) ]

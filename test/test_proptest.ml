@@ -1,0 +1,144 @@
+(* The property-testing framework itself: deterministic replay, shrinking
+   to minimal counterexamples, failure reporting. *)
+
+module Gen = Tqec_proptest.Gen
+module Shrink = Tqec_proptest.Shrink
+module Property = Tqec_proptest.Property
+module Rng = Tqec_prelude.Rng
+
+let int_arb lo hi =
+  Property.make ~shrink:Shrink.int ~print:string_of_int (Gen.int_range lo hi)
+
+let list_arb =
+  Property.make
+    ~shrink:(Shrink.list ~elt:Shrink.int)
+    ~print:(fun l -> "[" ^ String.concat "; " (List.map string_of_int l) ^ "]")
+    (Gen.list ~max_len:12 (Gen.int_range 0 20))
+
+let test_gen_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Gen.int_range 3 17 rng in
+    Alcotest.(check bool) "in range" true (x >= 3 && x <= 17);
+    let y = Gen.int_bound 5 rng in
+    Alcotest.(check bool) "bounded" true (y >= 0 && y < 5)
+  done;
+  Alcotest.check_raises "empty range rejected"
+    (Invalid_argument "Gen.int_range: hi < lo") (fun () ->
+      ignore (Gen.int_range 2 1 rng))
+
+let test_gen_deterministic () =
+  let gen = Gen.list ~max_len:20 (Gen.int_range (-50) 50) in
+  let a = Gen.run gen (Rng.create 123) in
+  let b = Gen.run gen (Rng.create 123) in
+  let c = Gen.run gen (Rng.create 124) in
+  Alcotest.(check bool) "same seed, same value" true (a = b);
+  Alcotest.(check bool) "different seed, different stream" true (a <> c)
+
+let test_pass () =
+  match Property.run ~count:200 ~seed:5 ~name:"tautology" (int_arb 0 1000)
+          (fun x -> x >= 0)
+  with
+  | Property.Pass { cases; _ } -> Alcotest.(check int) "all cases ran" 200 cases
+  | Property.Fail f -> Alcotest.fail (Property.describe f)
+
+let test_shrink_int_to_boundary () =
+  (* x < 10 fails for any x >= 10; greedy shrinking must land exactly on
+     the boundary value 10. *)
+  match Property.run ~count:500 ~seed:1 ~name:"lt10" (int_arb 0 1000)
+          (fun x -> x < 10)
+  with
+  | Property.Pass _ -> Alcotest.fail "property should fail"
+  | Property.Fail f ->
+      Alcotest.(check string) "minimal counterexample" "10" f.Property.counterexample
+
+let test_shrink_list_to_singleton () =
+  match Property.run ~count:500 ~seed:2 ~name:"no7" list_arb
+          (fun l -> not (List.mem 7 l))
+  with
+  | Property.Pass _ -> Alcotest.fail "property should fail"
+  | Property.Fail f ->
+      Alcotest.(check string) "minimal counterexample" "[7]" f.Property.counterexample
+
+let test_replay_from_case_seed () =
+  match Property.run ~count:500 ~seed:3 ~name:"lt10" (int_arb 0 1000)
+          (fun x -> x < 10)
+  with
+  | Property.Pass _ -> Alcotest.fail "property should fail"
+  | Property.Fail f ->
+      let x = Property.regen (int_arb 0 1000) f.Property.case_seed in
+      Alcotest.(check bool) "regenerated input still fails" false (x < 10);
+      let y = Property.regen (int_arb 0 1000) f.Property.case_seed in
+      Alcotest.(check int) "regen is deterministic" x y
+
+let test_batch_replay_deterministic () =
+  let run () =
+    Property.run ~count:300 ~seed:11 ~name:"lt100" (int_arb 0 10_000)
+      (fun x -> x < 100)
+  in
+  match (run (), run ()) with
+  | Property.Fail a, Property.Fail b ->
+      Alcotest.(check int) "same failing case" a.Property.case_index b.Property.case_index;
+      Alcotest.(check int) "same case seed" a.Property.case_seed b.Property.case_seed;
+      Alcotest.(check string) "same counterexample" a.Property.counterexample
+        b.Property.counterexample
+  | _ -> Alcotest.fail "property should fail both times"
+
+let test_exception_is_failure () =
+  match Property.run ~count:100 ~seed:4 ~name:"raises" (int_arb 0 100)
+          (fun x -> if x > 10 then failwith "boom" else true)
+  with
+  | Property.Pass _ -> Alcotest.fail "property should fail"
+  | Property.Fail f -> (
+      match f.Property.error with
+      | Some msg ->
+          Alcotest.(check bool) "exception text captured" true
+            (String.length msg > 0);
+          (* shrinking also drives the exception to the boundary *)
+          Alcotest.(check string) "shrunk to boundary" "11" f.Property.counterexample
+      | None -> Alcotest.fail "expected a captured exception")
+
+let test_describe_and_check () =
+  match Property.run ~count:100 ~seed:6 ~name:"named-prop" (int_arb 0 1000)
+          (fun x -> x < 10)
+  with
+  | Property.Pass _ -> Alcotest.fail "property should fail"
+  | Property.Fail f as outcome ->
+      let d = Property.describe f in
+      List.iter
+        (fun needle ->
+          let contains s sub =
+            let n = String.length sub in
+            let rec go i =
+              i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) ("describe mentions " ^ needle) true (contains d needle))
+        [ "named-prop"; "10"; "seed" ];
+      (match Property.check outcome with
+       | Ok () -> Alcotest.fail "check should report the failure"
+       | Error _ -> ());
+      (match Property.check (Property.Pass { name = "x"; cases = 1 }) with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail e)
+
+let test_frequency_respects_weights () =
+  let gen = Gen.frequency [ (1, Gen.const `A); (0, Gen.const `B) ] in
+  let rng = Rng.create 9 in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "zero weight never drawn" true (Gen.run gen rng = `A)
+  done
+
+let suites =
+  [ ( "proptest",
+      [ Alcotest.test_case "generator bounds" `Quick test_gen_bounds;
+        Alcotest.test_case "generator determinism" `Quick test_gen_deterministic;
+        Alcotest.test_case "passing property" `Quick test_pass;
+        Alcotest.test_case "int shrinks to boundary" `Quick test_shrink_int_to_boundary;
+        Alcotest.test_case "list shrinks to singleton" `Quick test_shrink_list_to_singleton;
+        Alcotest.test_case "replay from case seed" `Quick test_replay_from_case_seed;
+        Alcotest.test_case "batch replay deterministic" `Quick test_batch_replay_deterministic;
+        Alcotest.test_case "exception is a failure" `Quick test_exception_is_failure;
+        Alcotest.test_case "describe and check" `Quick test_describe_and_check;
+        Alcotest.test_case "frequency weights" `Quick test_frequency_respects_weights ] ) ]

@@ -127,6 +127,65 @@ let prop_unitary_preserves_norm =
         ops;
       abs_float (State.norm2 st -. 1.0) < 1e-6)
 
+(* A small rotation by delta perturbs amplitudes by ~delta, so the squared
+   per-amplitude difference equal_up_to_global_phase thresholds on is
+   ~delta^2: delta = 1e-5 sits inside the default eps = 1e-9, delta = 1e-4
+   sits outside, and a custom eps moves the boundary. *)
+let rotation delta =
+  let co = cos delta and si = sin delta in
+  [| { Complex.re = co; im = 0.0 };
+     { Complex.re = -.si; im = 0.0 };
+     { Complex.re = si; im = 0.0 };
+     { Complex.re = co; im = 0.0 } |]
+
+let test_eps_boundary () =
+  let base () =
+    let st = State.make 2 in
+    State.apply_1q st 0 State.m_h;
+    st
+  in
+  let rotated delta =
+    let st = base () in
+    State.apply_1q st 1 (rotation delta);
+    st
+  in
+  Alcotest.(check bool) "1e-5 within default eps" true
+    (State.equal_up_to_global_phase (base ()) (rotated 1e-5));
+  Alcotest.(check bool) "1e-4 outside default eps" false
+    (State.equal_up_to_global_phase (base ()) (rotated 1e-4));
+  Alcotest.(check bool) "1e-4 within loosened eps" true
+    (State.equal_up_to_global_phase ~eps:1e-7 (base ()) (rotated 1e-4));
+  Alcotest.(check bool) "1e-5 outside tightened eps" false
+    (State.equal_up_to_global_phase ~eps:1e-11 (base ()) (rotated 1e-5));
+  Alcotest.(check bool) "reflexive at any eps" true
+    (State.equal_up_to_global_phase ~eps:1e-15 (base ()) (base ()))
+
+(* norm2 preservation across random 1q-matrix sequences, under the in-repo
+   property framework. *)
+let test_norm2_preservation_property () =
+  let module Gen = Tqec_proptest.Gen in
+  let module Shrink = Tqec_proptest.Shrink in
+  let module Property = Tqec_proptest.Property in
+  let mats =
+    [| State.m_x; State.m_y; State.m_z; State.m_h; State.m_p; State.m_pdag;
+       State.m_v; State.m_vdag; State.m_t; State.m_tdag |]
+  in
+  let op = Gen.pair (Gen.int_bound 3) (Gen.int_bound (Array.length mats)) in
+  let arb =
+    Property.make ~shrink:(Shrink.list)
+      ~print:(fun ops ->
+        String.concat "; "
+          (List.map (fun (q, m) -> Printf.sprintf "q%d:m%d" q m) ops))
+      (Gen.list ~max_len:50 op)
+  in
+  let outcome =
+    Property.run ~count:200 ~seed:23 ~name:"norm2-preserved" arb (fun ops ->
+        let st = State.make 3 in
+        List.iter (fun (q, m) -> State.apply_1q st q mats.(m)) ops;
+        abs_float (State.norm2 st -. 1.0) < 1e-6)
+  in
+  match Property.check outcome with Ok () -> () | Error e -> Alcotest.fail e
+
 let suites =
   [ ( "sim.state",
       [ Alcotest.test_case "initial state" `Quick test_initial_state;
@@ -141,4 +200,7 @@ let suites =
         Alcotest.test_case "inverses" `Quick test_inverses;
         Alcotest.test_case "phase detection" `Quick test_phase_detection;
         Alcotest.test_case "norm preserved" `Quick test_norm_preserved;
+        Alcotest.test_case "eps boundary" `Quick test_eps_boundary;
+        Alcotest.test_case "norm2 preservation property" `Quick
+          test_norm2_preservation_property;
         QCheck_alcotest.to_alcotest prop_unitary_preserves_norm ] ) ]

@@ -1,0 +1,145 @@
+(* The independent layout oracle: accepts everything the pipeline emits,
+   rejects hand-corrupted layouts, and — the reason it exists — catches an
+   injected routing bug (a silently dropped net) that the pipeline's own
+   bookkeeping-based validation misses. *)
+
+open Tqec_circuit
+module Flow = Tqec_core.Flow
+module Verify = Tqec_verify.Verify
+module Place25d = Tqec_place.Place25d
+module Router = Tqec_route.Router
+module Point3 = Tqec_geom.Point3
+
+let fast_options =
+  Flow.scale_options ~sa_iterations:1500 ~route_iterations:15 Flow.default_options
+
+(* CNOTs for loops to bridge and route; double T on qubit 0 for a TSL with
+   two time-ordered clusters. *)
+let circuit () =
+  Circuit.make ~name:"oracle" ~num_qubits:3
+    [ Gate.Cnot { control = 0; target = 1 };
+      Gate.T 0;
+      Gate.Cnot { control = 1; target = 2 };
+      Gate.T 0;
+      Gate.Cnot { control = 0; target = 2 } ]
+
+let flow = lazy (Flow.run ~options:fast_options (circuit ()))
+
+let input_of_flow f = Tqec_fuzzing.Props.verify_input_of_flow f
+
+let check_result report name =
+  match List.assoc_opt name report with
+  | Some r -> r
+  | None -> Alcotest.failf "check %s missing from report" name
+
+let test_accepts_valid_flow () =
+  let f = Lazy.force flow in
+  let report = Verify.verify (input_of_flow f) in
+  (match Verify.first_error report with
+   | Some e -> Alcotest.fail e
+   | None -> ());
+  Alcotest.(check (list string)) "all checks reported" Verify.check_names
+    (List.map fst report);
+  (* differential agreement: the pipeline's own validator also accepts *)
+  match Flow.validate f with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("pipeline validator disagrees: " ^ e)
+
+let test_accepts_naive_flow () =
+  let options = { fast_options with Flow.bridging = false } in
+  let f = Flow.run ~options (circuit ()) in
+  Alcotest.(check bool) "bridge absent" true (f.Flow.bridge = None);
+  let report = Verify.verify (input_of_flow f) in
+  match Verify.first_error report with
+  | Some e -> Alcotest.fail e
+  | None -> ()
+
+let test_catches_module_overlap () =
+  let f = Lazy.force flow in
+  let p = f.Flow.placement in
+  let pos = Array.copy p.Place25d.module_pos in
+  pos.(1) <- pos.(0);
+  let corrupted = { p with Place25d.module_pos = pos } in
+  let input = { (input_of_flow f) with Verify.placement = corrupted } in
+  match check_result (Verify.verify input) "module-overlap" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "overlapping modules not detected"
+
+let test_catches_time_order_violation () =
+  let f = Lazy.force flow in
+  let p = f.Flow.placement in
+  let cl = p.Place25d.cluster in
+  (* shift every module of the first cluster of a multi-cluster TSL far
+     along +x, so it starts after its successor *)
+  let tsl =
+    match
+      Array.find_opt (fun l -> List.length l >= 2) cl.Tqec_place.Cluster.tsl
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "expected a TSL with two clusters"
+  in
+  let first = List.hd tsl in
+  let pos = Array.copy p.Place25d.module_pos in
+  List.iter
+    (fun (m, _) ->
+      pos.(m) <- { (pos.(m)) with Point3.x = pos.(m).Point3.x + 1000 })
+    cl.Tqec_place.Cluster.clusters.(first).Tqec_place.Cluster.members;
+  let corrupted = { p with Place25d.module_pos = pos } in
+  let input = { (input_of_flow f) with Verify.placement = corrupted } in
+  match check_result (Verify.verify input) "time-ordering" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "time-order violation not detected"
+
+(* The regression test of the harness's reason-to-exist: silently dropping
+   one routed net (the injected "router skips a net" bug). The pipeline's
+   validator only counts its own failed list, so it still accepts; the
+   oracle re-derives connectivity from geometry and rejects. *)
+let test_catches_dropped_net () =
+  let f = Lazy.force flow in
+  let r = f.Flow.routing in
+  Alcotest.(check bool) "something to drop" true (List.length r.Router.routed >= 2);
+  let dropped = { r with Router.routed = List.tl r.Router.routed } in
+  let input = { (input_of_flow f) with Verify.routing = dropped } in
+  let report = Verify.verify input in
+  Alcotest.(check bool) "oracle rejects" false (Verify.ok report);
+  (match check_result report "net-connectivity" with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "dropped net not caught by connectivity check");
+  (* the bug the oracle exists to catch: the pipeline's own validator is
+     blind to it *)
+  let blind = { f with Flow.routing = dropped } in
+  match Flow.validate blind with
+  | Ok () -> ()
+  | Error e ->
+      (* if the pipeline ever learns to catch this, the oracle is no longer
+         the only line of defense — worth knowing, not a failure *)
+      Printf.eprintf "note: pipeline validator also caught dropped net: %s\n" e
+
+let test_catches_disconnected_path () =
+  let f = Lazy.force flow in
+  let r = f.Flow.routing in
+  (* teleport the second cell of the first path far away: breaks adjacency *)
+  let broken =
+    match r.Router.routed with
+    | rn :: rest -> (
+        match rn.Router.path with
+        | a :: b :: tl ->
+            let b' = { b with Point3.z = b.Point3.z + 500 } in
+            { r with Router.routed = { rn with Router.path = a :: b' :: tl } :: rest }
+        | _ -> Alcotest.fail "expected a path with at least two cells")
+    | [] -> Alcotest.fail "expected at least one routed net"
+  in
+  let input = { (input_of_flow f) with Verify.routing = broken } in
+  match check_result (Verify.verify input) "path-geometry" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-contiguous path not detected"
+
+let suites =
+  [ ( "verify",
+      [ Alcotest.test_case "accepts valid flow" `Quick test_accepts_valid_flow;
+        Alcotest.test_case "accepts naive flow" `Quick test_accepts_naive_flow;
+        Alcotest.test_case "catches module overlap" `Quick test_catches_module_overlap;
+        Alcotest.test_case "catches time-order violation" `Quick
+          test_catches_time_order_violation;
+        Alcotest.test_case "catches dropped net" `Quick test_catches_dropped_net;
+        Alcotest.test_case "catches broken path" `Quick test_catches_disconnected_path ] ) ]
