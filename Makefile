@@ -1,4 +1,4 @@
-.PHONY: all build test check fuzz bench clean
+.PHONY: all build test check fuzz bench perf clean
 
 all: build
 
@@ -17,6 +17,7 @@ check: build
 	  --trace --metrics-json _build/metrics_smoke.json
 	dune exec bin/tqec_metrics_check.exe -- _build/metrics_smoke.json
 	$(MAKE) fuzz
+	@if [ "$(TQEC_PERF)" = "1" ]; then $(MAKE) perf; fi
 
 # Deterministic property-based fuzzing: random circuits through the whole
 # pipeline, checked by the independent layout oracle (lib/verify). A failure
@@ -26,6 +27,16 @@ fuzz: build
 
 bench:
 	dune exec bench/main.exe
+
+# Perf regression gate: rerun the fast benchmark subset in --json mode and
+# fail if any space-time volume drifts from the committed BENCH_pr3.json
+# (times and rates are machine-dependent, reported informationally). Also
+# runs under `make check` when TQEC_PERF=1.
+PERF_SUBSET = 4gt10-v1_81,4gt4-v0_73
+perf: build
+	TQEC_EFFORT=fast TQEC_BENCH_ONLY=$(PERF_SUBSET) \
+	  dune exec bench/main.exe -- --json > _build/bench_perf.json
+	dune exec bin/tqec_perf_check.exe -- BENCH_pr3.json _build/bench_perf.json
 
 clean:
 	dune clean

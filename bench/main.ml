@@ -495,6 +495,24 @@ let bechamel_section () =
         (Staged.stage (fun () ->
              ignore (Tqec_place.Bstar.pack (Tqec_place.Bstar.create dims))))
     in
+    let sa_nets = (Tqec_bridge.Bridge.run prep.modular).Tqec_bridge.Bridge.nets in
+    let place_cfg =
+      { Tqec_place.Place25d.default_config with
+        Tqec_place.Place25d.tiers = Some 2;
+        sa = { Tqec_place.Sa.default_params with Tqec_place.Sa.iterations = 1500 } }
+    in
+    let sa_eval = Tqec_place.Place25d.sa_eval_bench place_cfg cluster sa_nets in
+    let sa_eval_test =
+      Test.make ~name:"sa-eval:4gt10-move" (Staged.stage (fun () -> sa_eval ()))
+    in
+    let placement = Tqec_place.Place25d.place place_cfg cluster sa_nets in
+    let astar_search, _ =
+      Tqec_route.Router.astar_bench Tqec_route.Router.default_config placement sa_nets
+    in
+    let astar_test =
+      Test.make ~name:"astar:4gt10-longest-net"
+        (Staged.stage (fun () -> astar_search ()))
+    in
     let rtree_test =
       Test.make ~name:"rtree:insert+query-500"
         (Staged.stage (fun () ->
@@ -541,25 +559,65 @@ let bechamel_section () =
             | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
             | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
           results)
-      [ bridge_test; pack_test; rtree_test; sim_test ]
+      [ bridge_test; pack_test; sa_eval_test; astar_test; rtree_test; sim_test ]
   end
 
+(* ------------------------------------------------------------------ *)
+(* --json: machine-readable per-benchmark baseline (BENCH_*.json)       *)
+(* ------------------------------------------------------------------ *)
+
+let effort_name () =
+  match Tqec_report.Effort.level () with
+  | Tqec_report.Effort.Fast -> "fast"
+  | Tqec_report.Effort.Normal -> "normal"
+  | Tqec_report.Effort.Full -> "full"
+
+(* Volumes are deterministic (fixed seed) and act as the behavior-
+   preservation contract checked by tqec_perf_check; rates and times vary
+   with the machine and are informational. *)
+let json_mode () =
+  let module Json = Tqec_obs.Json in
+  let per_sec n t = if t > 0.0 then float_of_int n /. t else 0.0 in
+  let benches =
+    List.map
+      (fun prep ->
+        let f = (flows_of prep).ours in
+        let b = f.Flow.breakdown in
+        let sa_moves = Flow.stage_counter f "placement" "sa_moves" in
+        let expansions = Flow.stage_counter f "routing" "astar_expansions" in
+        Json.Obj
+          [ ("name", Json.String prep.spec.Benchmarks.name);
+            ("volume", Json.Int f.Flow.volume);
+            ("t_bridging", Json.Float b.Flow.t_bridging);
+            ("t_placement", Json.Float b.Flow.t_placement);
+            ("t_routing", Json.Float b.Flow.t_routing);
+            ("sa_moves", Json.Int sa_moves);
+            ("sa_moves_per_sec", Json.Float (per_sec sa_moves b.Flow.t_placement));
+            ("astar_expansions", Json.Int expansions);
+            ("astar_expansions_per_sec",
+             Json.Float (per_sec expansions b.Flow.t_routing)) ])
+      (Lazy.force flow_preps)
+  in
+  print_endline
+    (Json.to_string ~pretty:true
+       (Json.Obj
+          [ ("schema_version", Json.Int 1);
+            ("effort", Json.String (effort_name ()));
+            ("seed", Json.Int seed);
+            ("benchmarks", Json.List benches) ]))
+
 let () =
-  Printf.printf "tqec bench harness (effort=%s, seed=%d)\n"
-    (match Tqec_report.Effort.level () with
-     | Tqec_report.Effort.Fast -> "fast"
-     | Tqec_report.Effort.Normal -> "normal"
-     | Tqec_report.Effort.Full -> "full")
-    seed;
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    json_mode ();
+    exit 0
+  end;
+  Printf.printf "tqec bench harness (effort=%s, seed=%d)\n" (effort_name ()) seed;
   table1 ();
   Printf.printf
     "\n(flow-based tables below cover the %d benchmark(s) within the %s effort\n\
     \ budget; set TQEC_EFFORT=full to compress all eight)\n"
     (List.length (flow_specs ()))
-    (match Tqec_report.Effort.level () with
-     | Tqec_report.Effort.Fast -> "fast"
-     | Tqec_report.Effort.Normal -> "normal"
-     | Tqec_report.Effort.Full -> "full");
+    (effort_name ());
   table2_and_4 ();
   table3 ();
   table5 ();

@@ -1,0 +1,85 @@
+(* Compare a fresh `bench/main.exe --json` run against a committed baseline
+   (BENCH_pr3.json). Space-time volumes are deterministic for a fixed seed
+   and must match exactly — a drift means the perf work changed behavior.
+   Times and rates are machine-dependent and reported informationally.
+
+     tqec_perf_check BASELINE.json CURRENT.json *)
+
+module Json = Tqec_obs.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("tqec_perf_check: " ^ s);
+      exit 1)
+    fmt
+
+let read_json file =
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error msg -> fail "%s" msg
+  in
+  match Json.of_string contents with
+  | Error msg -> fail "%s does not parse as JSON: %s" file msg
+  | Ok json -> json
+
+let benchmarks file json =
+  match Json.member "benchmarks" json with
+  | Some (Json.List bs) ->
+      List.map
+        (fun b ->
+          match Json.member "name" b with
+          | Some (Json.String n) -> (n, b)
+          | Some _ | None -> fail "%s: benchmark entry without a name" file)
+        bs
+  | Some _ | None -> fail "%s has no \"benchmarks\" list" file
+
+let int_field file name b key =
+  match Json.member key b with
+  | Some (Json.Int v) -> v
+  | Some _ | None -> fail "%s: benchmark %s lacks integer field %s" file name key
+
+let float_field b key =
+  match Json.member key b with
+  | Some (Json.Float v) -> v
+  | Some (Json.Int v) -> float_of_int v
+  | Some _ | None -> 0.0
+
+let () =
+  let baseline_file, current_file =
+    match Sys.argv with
+    | [| _; baseline; current |] -> (baseline, current)
+    | _ -> fail "usage: tqec_perf_check BASELINE.json CURRENT.json"
+  in
+  let baseline = benchmarks baseline_file (read_json baseline_file) in
+  let current = benchmarks current_file (read_json current_file) in
+  let drifted = ref 0 in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name current with
+      | None -> fail "%s: benchmark %s missing from %s" current_file name current_file
+      | Some c ->
+          let vb = int_field baseline_file name b "volume" in
+          let vc = int_field current_file name c "volume" in
+          if vb <> vc then begin
+            incr drifted;
+            Printf.eprintf
+              "tqec_perf_check: VOLUME DRIFT on %s: baseline %d, current %d\n" name
+              vb vc
+          end;
+          let rate key =
+            let rb = float_field b key and rc = float_field c key in
+            if rb > 0.0 then Printf.sprintf "%.2fx" (rc /. rb) else "n/a"
+          in
+          Printf.printf
+            "%-16s volume %d ok; sa_moves/s %.0f (%s vs baseline); a*_exp/s %.0f \
+             (%s vs baseline)\n"
+            name vc
+            (float_field c "sa_moves_per_sec")
+            (rate "sa_moves_per_sec")
+            (float_field c "astar_expansions_per_sec")
+            (rate "astar_expansions_per_sec"))
+    baseline;
+  if !drifted > 0 then fail "%d benchmark volume(s) drifted from the baseline" !drifted;
+  Printf.printf "tqec_perf_check: %d benchmark volume(s) match %s\n"
+    (List.length baseline) baseline_file

@@ -85,10 +85,91 @@ let oracle ~max_qubits ~max_gates =
         | [] -> oracle_ok && pipeline_ok
         | _ :: _ -> (not oracle_ok) && not pipeline_ok )
 
+(* --- incremental-evaluation coherence (PR3 perf work) --- *)
+
+module Bstar = Tqec_place.Bstar
+module Rng = Tqec_prelude.Rng
+
+type bstar_op =
+  | Swap of int * int
+  | Move of int * int      (* block, rng seed for the re-insertion point *)
+  | Set_dims of int * (int * int)
+  | Copy                   (* continue on a copy; the original is retained *)
+  | Warm                   (* populate the cache *)
+
+let bstar_arbitrary =
+  let open Gen in
+  let gen =
+    bind (int_range 2 12) (fun n ->
+        let block = int_bound n in
+        let dims = pair (int_range 1 6) (int_range 1 6) in
+        let op =
+          frequency
+            [ (3, map2 (fun a b -> Swap (a, b)) block block);
+              (3, map2 (fun b s -> Move (b, s)) block (int_bound 1_000_000));
+              (2, map2 (fun b d -> Set_dims (b, d)) block dims);
+              (1, const Copy);
+              (2, const Warm) ]
+        in
+        pair (array_n n dims) (list ~max_len:32 op))
+  in
+  Property.make
+    ~print:(fun (dims, ops) ->
+      Printf.sprintf "%d blocks, %d ops" (Array.length dims) (List.length ops))
+    gen
+
+let equal_packing (a : Bstar.packing) (b : Bstar.packing) =
+  a.Bstar.xs = b.Bstar.xs && a.Bstar.ys = b.Bstar.ys
+  && a.Bstar.span_x = b.Bstar.span_x
+  && a.Bstar.span_y = b.Bstar.span_y
+
+(* The cached packing must equal a from-scratch evaluation after every
+   mutation, and trees sharing a cache with a mutated copy must keep
+   answering from their own (still valid) snapshot. *)
+let pack_cache =
+  Prop
+    ( "bstar-pack-cache",
+      bstar_arbitrary,
+      fun (dims, ops) ->
+        let t = ref (Bstar.create dims) in
+        let retained = ref [] in
+        let coherent tr = equal_packing (Bstar.pack tr) (Bstar.repack tr) in
+        List.for_all
+          (fun op ->
+            (match op with
+             | Swap (a, b) -> Bstar.swap_blocks !t a b
+             | Move (b, s) -> Bstar.move_block ~rng:(Rng.create s) !t b
+             | Set_dims (b, d) -> Bstar.set_block_dims !t b d
+             | Copy ->
+                 retained := !t :: !retained;
+                 t := Bstar.copy !t
+             | Warm -> ignore (Bstar.pack !t));
+            coherent !t)
+          ops
+        && List.for_all coherent !retained )
+
+let incremental_cost ~max_qubits ~max_gates =
+  Prop
+    ( "sa-incremental-cost",
+      salted_arbitrary ~max_qubits ~max_gates,
+      fun (c, salt) ->
+        let icm = Tqec_icm.Icm.of_circuit (Decompose.circuit c) in
+        let m = Tqec_modular.Modular.of_icm icm in
+        let nets = (Tqec_bridge.Bridge.run m).Tqec_bridge.Bridge.nets in
+        let cl = Tqec_place.Cluster.build m in
+        let cfg = (options_with_seed salt).Flow.place in
+        match
+          Tqec_place.Place25d.check_incremental_cost ~iterations:60 cfg cl nets
+        with
+        | Ok () -> true
+        | Error _ -> false )
+
 let all ~max_qubits ~max_gates =
   [ semantics ~max_qubits ~max_gates;
     volume ~max_qubits ~max_gates;
-    oracle ~max_qubits ~max_gates ]
+    oracle ~max_qubits ~max_gates;
+    pack_cache;
+    incremental_cost ~max_qubits ~max_gates ]
 
 let run_prop ?count ?seed (Prop (n, arb, f)) =
   Property.run ?count ?seed ~name:n arb f

@@ -43,8 +43,21 @@ val semantics : max_qubits:int -> max_gates:int -> prop
 val volume : max_qubits:int -> max_gates:int -> prop
 val oracle : max_qubits:int -> max_gates:int -> prop
 
+val pack_cache : prop
+(** [bstar-pack-cache]: after an arbitrary sequence of B*-tree mutations
+    (swaps, moves, resizes, copies), the dirty-bit-cached {!Tqec_place.Bstar.pack}
+    equals a from-scratch {!Tqec_place.Bstar.repack}, and trees that shared a
+    cache with a since-mutated copy still answer from their own valid
+    snapshot. *)
+
+val incremental_cost : max_qubits:int -> max_gates:int -> prop
+(** [sa-incremental-cost]: over a random perturbation walk on a real
+    clustered circuit, the incrementally maintained SA cost (cached packings
+    + delta wirelength) agrees with a from-scratch re-evaluation at every
+    step (1e-9 relative). *)
+
 val all : max_qubits:int -> max_gates:int -> prop list
-(** The three properties, in the order above. *)
+(** The five properties, in the order above. *)
 
 val run_prop :
   ?count:int -> ?seed:int -> prop -> Tqec_proptest.Property.outcome

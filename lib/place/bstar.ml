@@ -1,5 +1,7 @@
 module Rng = Tqec_prelude.Rng
 
+type packing = { xs : int array; ys : int array; span_x : int; span_y : int }
+
 type t = {
   dims : (int * int) array;     (* block id -> (dx, dy) *)
   node_block : int array;       (* node -> block id *)
@@ -8,6 +10,11 @@ type t = {
   left : int array;
   right : int array;
   mutable root : int;
+  (* Last evaluation of this tree, keyed by the spacing it was computed
+     with. A packing is immutable once built, so copies of the tree share
+     it until one of them mutates and drops its reference (the dirty bit
+     is [cache = None]). *)
+  mutable cache : (int * packing) option;
 }
 
 let num_blocks t = Array.length t.node_block
@@ -22,7 +29,8 @@ let create dims =
       parent = Array.make n (-1);
       left = Array.make n (-1);
       right = Array.make n (-1);
-      root = 0 }
+      root = 0;
+      cache = None }
   in
   (* Heap-shaped initial tree: children of node i are 2i+1 and 2i+2. *)
   for i = 0 to n - 1 do
@@ -45,14 +53,18 @@ let copy t =
     parent = Array.copy t.parent;
     left = Array.copy t.left;
     right = Array.copy t.right;
-    root = t.root }
+    root = t.root;
+    cache = t.cache }
 
 let block_dims t b = t.dims.(b)
-let set_block_dims t b d = t.dims.(b) <- d
 
-type packing = { xs : int array; ys : int array; span_x : int; span_y : int }
+let set_block_dims t b d =
+  if t.dims.(b) <> d then begin
+    t.dims.(b) <- d;
+    t.cache <- None
+  end
 
-let pack ?(spacing = 1) t =
+let repack ?(spacing = 1) t =
   let n = num_blocks t in
   let xs = Array.make n 0 and ys = Array.make n 0 in
   (* Contour over x columns; total width bounds the needed columns. *)
@@ -86,13 +98,36 @@ let pack ?(spacing = 1) t =
   done;
   { xs; ys; span_x = !span_x; span_y = !span_y }
 
+let pack ?(spacing = 1) t =
+  match t.cache with
+  | Some (sp, p) when sp = spacing -> p
+  | Some _ | None ->
+      let p = repack ~spacing t in
+      t.cache <- Some (spacing, p);
+      p
+
 let swap_blocks t b1 b2 =
   if b1 <> b2 then begin
     let n1 = t.block_node.(b1) and n2 = t.block_node.(b2) in
     t.node_block.(n1) <- b2;
     t.node_block.(n2) <- b1;
     t.block_node.(b1) <- n2;
-    t.block_node.(b2) <- n1
+    t.block_node.(b2) <- n1;
+    (* Node positions depend only on tree shape and per-node dims, so a swap
+       of equal-footprint blocks just exchanges the two blocks' coordinates.
+       Cached packings are shared across copies, hence copy-on-write. *)
+    match t.cache with
+    | Some (sp, p) when t.dims.(b1) = t.dims.(b2) ->
+        let xs = Array.copy p.xs and ys = Array.copy p.ys in
+        let x = xs.(b1) in
+        xs.(b1) <- xs.(b2);
+        xs.(b2) <- x;
+        let y = ys.(b1) in
+        ys.(b1) <- ys.(b2);
+        ys.(b2) <- y;
+        t.cache <- Some (sp, { p with xs; ys })
+    | Some _ -> t.cache <- None
+    | None -> ()
   end
 
 let random_block rng t = Rng.int rng (num_blocks t)
@@ -122,6 +157,7 @@ let unlink_leaf t leaf =
 
 let move_block ~rng t b =
   if num_blocks t >= 2 then begin
+    t.cache <- None;
     let node = t.block_node.(b) in
     let leaf = sink_to_leaf rng t node in
     (* The block now at [leaf] is [b]. If the leaf is the root the tree has

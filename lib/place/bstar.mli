@@ -40,7 +40,17 @@ val pack : ?spacing:int -> t -> packing
     block on its +x/+y sides, preserving the one-unit defect separation and
     routing room around modules. Reported origins are the true block origins;
     the bounding box includes the spacing of interior blocks but strips the
-    trailing margin. *)
+    trailing margin.
+
+    The result is cached inside the tree (dirty-bit invalidated by
+    {!swap_blocks}, {!move_block} and {!set_block_dims}), so repeated
+    evaluations of an unchanged tree are O(1). {!copy} shares the cache:
+    packings are immutable once built. *)
+
+val repack : ?spacing:int -> t -> packing
+(** Like {!pack} but always re-evaluates from scratch, bypassing (and not
+    refreshing) the cache. Reference implementation for the cache-coherence
+    property tests and the [TQEC_SA_CHECK] debug assertion. *)
 
 val swap_blocks : t -> int -> int -> unit
 (** Exchange the tree positions of two blocks (inter- or intra-tree swap at

@@ -174,6 +174,23 @@ let build ?(primal_groups = true) ?(max_group_size = 4) modular =
     module_offset;
     tsl }
 
+(* Incidence index for incremental wirelength: cluster id -> indices (into
+   the given net order) of every net with a pin on one of the cluster's
+   modules. A net internal to one cluster appears once; its length still
+   changes when the cluster moves, so it must not be dropped. *)
+let net_index t nets =
+  let n = num_clusters t in
+  let pins = t.modular.Modular.pins in
+  let acc = Array.make n [] in
+  List.iteri
+    (fun i (net : Tqec_bridge.Bridge.net) ->
+      let ca = t.module_cluster.(pins.(net.Tqec_bridge.Bridge.pin_a).Modular.owner) in
+      let cb = t.module_cluster.(pins.(net.Tqec_bridge.Bridge.pin_b).Modular.owner) in
+      acc.(ca) <- i :: acc.(ca);
+      if cb <> ca then acc.(cb) <- i :: acc.(cb))
+    nets;
+  Array.map (fun is -> Array.of_list (List.rev is)) acc
+
 let equalize_tsl t =
   Array.iter
     (fun cluster_ids ->

@@ -50,6 +50,13 @@ val build : ?primal_groups:bool -> ?max_group_size:int -> Tqec_modular.Modular.t
 
 val num_clusters : t -> int
 
+val net_index : t -> Tqec_bridge.Bridge.net list -> int array array
+(** [net_index t nets] maps each cluster id to the indices (into [nets], in
+    list order) of the nets with at least one pin on the cluster, each index
+    listed once. Drives the incremental wirelength update of the placement
+    annealer: after a perturbation only the nets incident to moved clusters
+    need re-measuring. *)
+
 val equalize_tsl : t -> unit
 (** Resize the clusters of each TSL to their common maximum dimensions so
     that TSL reallocation during annealing is position-neutral. *)

@@ -141,45 +141,43 @@ let enforce_tsl cl s packs =
             ids sorted)
     cl.Cluster.tsl
 
-let perturb cl ~spacing rng s =
+let perturb_state cl rng s =
   let ntiers = Array.length s.trees in
   let random_tier () = Rng.int rng ntiers in
   let op = Rng.int rng 3 in
-  (match op with
-   | 0 ->
-       (* Intra-tier swap: the two clusters trade tree nodes, i.e. places in
-          the tier's floorplan; the slot->cluster map is untouched because
-          blocks are identified with tier-local slot indices. *)
-       let t = random_tier () in
-       if Bstar.num_blocks s.trees.(t) >= 2 then begin
-         let tree = own_tree s t in
-         let b1 = Bstar.random_block rng tree and b2 = Bstar.random_block rng tree in
-         if b1 <> b2 then Bstar.swap_blocks tree b1 b2
-       end
-   | 1 ->
-       (* intra-tier move *)
-       let t = random_tier () in
-       if Bstar.num_blocks s.trees.(t) >= 2 then begin
-         let tree = own_tree s t in
-         Bstar.move_block ~rng tree (Bstar.random_block rng tree)
-       end
-   | _ ->
-       (* inter-tier swap: exchange the clusters of two slots. *)
-       let t1 = random_tier () and t2 = random_tier () in
-       if t1 <> t2 then begin
-         let tree1 = own_tree s t1 and tree2 = own_tree s t2 in
-         let i1 = Bstar.random_block rng tree1 in
-         let i2 = Bstar.random_block rng tree2 in
-         let c1 = s.slot_cluster.(t1).(i1) and c2 = s.slot_cluster.(t2).(i2) in
-         s.slot_cluster.(t1).(i1) <- c2;
-         s.slot_cluster.(t2).(i2) <- c1;
-         s.cluster_slot.(c1) <- (t2, i2);
-         s.cluster_slot.(c2) <- (t1, i1);
-         Bstar.set_block_dims tree1 i1 (cluster_dxdy cl.Cluster.clusters.(c2));
-         Bstar.set_block_dims tree2 i2 (cluster_dxdy cl.Cluster.clusters.(c1))
-       end);
-  enforce_tsl cl s (pack_all s ~spacing);
-  s
+  match op with
+  | 0 ->
+      (* Intra-tier swap: the two clusters trade tree nodes, i.e. places in
+         the tier's floorplan; the slot->cluster map is untouched because
+         blocks are identified with tier-local slot indices. *)
+      let t = random_tier () in
+      if Bstar.num_blocks s.trees.(t) >= 2 then begin
+        let tree = own_tree s t in
+        let b1 = Bstar.random_block rng tree and b2 = Bstar.random_block rng tree in
+        if b1 <> b2 then Bstar.swap_blocks tree b1 b2
+      end
+  | 1 ->
+      (* intra-tier move *)
+      let t = random_tier () in
+      if Bstar.num_blocks s.trees.(t) >= 2 then begin
+        let tree = own_tree s t in
+        Bstar.move_block ~rng tree (Bstar.random_block rng tree)
+      end
+  | _ ->
+      (* inter-tier swap: exchange the clusters of two slots. *)
+      let t1 = random_tier () and t2 = random_tier () in
+      if t1 <> t2 then begin
+        let tree1 = own_tree s t1 and tree2 = own_tree s t2 in
+        let i1 = Bstar.random_block rng tree1 in
+        let i2 = Bstar.random_block rng tree2 in
+        let c1 = s.slot_cluster.(t1).(i1) and c2 = s.slot_cluster.(t2).(i2) in
+        s.slot_cluster.(t1).(i1) <- c2;
+        s.slot_cluster.(t2).(i2) <- c1;
+        s.cluster_slot.(c1) <- (t2, i2);
+        s.cluster_slot.(c2) <- (t1, i1);
+        Bstar.set_block_dims tree1 i1 (cluster_dxdy cl.Cluster.clusters.(c2));
+        Bstar.set_block_dims tree2 i2 (cluster_dxdy cl.Cluster.clusters.(c1))
+      end
 
 let overall_dims packs ~z_gap =
   let d = Array.fold_left (fun acc (p : Bstar.packing) -> max acc p.Bstar.span_x) 0 packs in
@@ -202,6 +200,118 @@ let wirelength_of cl cluster_pos nets =
       acc + Point3.manhattan a b)
     0 nets
 
+(* ------------------------------------------------------------------ *)
+(* Incremental SA evaluation (the hot loop).
+
+   A solution handed to the annealer is not a bare [state] but an [eval]
+   record carrying the packing of every tier, the absolute cluster
+   positions and a per-net length cache, so that one perturbation costs
+   only: re-pack of the 1-2 touched tiers (the B*-tree packing cache
+   covers the rest), an O(#clusters) position diff, and a re-measure of
+   the nets incident to clusters that actually moved (via
+   [Cluster.net_index]). The full O(all tiers + all nets) evaluation
+   survives as [full_cost], wired to [Sa.run]'s [check] hook under
+   TQEC_SA_CHECK.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type eval = {
+  state : state;
+  mutable packs : Bstar.packing array;  (* tier -> current packing *)
+  cpos : Point3.t array;                (* cluster id -> absolute position *)
+  net_len : int array;                  (* net index -> manhattan length *)
+  mutable wirelength : int;             (* = sum of net_len *)
+}
+
+(* Immutable per-anneal tables plus dedup scratch, shared by every eval. *)
+type anneal_ctx = {
+  cl : Cluster.t;
+  spacing : int;
+  z_gap : int;
+  na_cluster : int array;   (* net index -> cluster of pin_a *)
+  nb_cluster : int array;
+  na_rel : Point3.t array;  (* net index -> pin_a offset within its cluster *)
+  nb_rel : Point3.t array;
+  index : int array array;  (* cluster id -> incident net indices *)
+  net_stamp : int array;    (* generation marks: net already re-measured *)
+  mutable stamp_gen : int;
+}
+
+let make_ctx cl nets ~spacing ~z_gap =
+  let pins = cl.Cluster.modular.Modular.pins in
+  let nets_a = Array.of_list nets in
+  let n = Array.length nets_a in
+  let cluster_of pin = cl.Cluster.module_cluster.(pins.(pin).Modular.owner) in
+  let rel_of pin =
+    Point3.add cl.Cluster.module_offset.(pins.(pin).Modular.owner)
+      pins.(pin).Modular.offset
+  in
+  { cl;
+    spacing;
+    z_gap;
+    na_cluster = Array.map (fun nt -> cluster_of nt.Bridge.pin_a) nets_a;
+    nb_cluster = Array.map (fun nt -> cluster_of nt.Bridge.pin_b) nets_a;
+    na_rel = Array.map (fun nt -> rel_of nt.Bridge.pin_a) nets_a;
+    nb_rel = Array.map (fun nt -> rel_of nt.Bridge.pin_b) nets_a;
+    index = Cluster.net_index cl nets;
+    net_stamp = Array.make n 0;
+    stamp_gen = 0 }
+
+let measure_net ctx cpos i =
+  Point3.manhattan
+    (Point3.add cpos.(ctx.na_cluster.(i)) ctx.na_rel.(i))
+    (Point3.add cpos.(ctx.nb_cluster.(i)) ctx.nb_rel.(i))
+
+let eval_of_state ctx s =
+  let packs = pack_all s ~spacing:ctx.spacing in
+  let cpos = cluster_positions ctx.cl s packs ~z_gap:ctx.z_gap in
+  let net_len = Array.init (Array.length ctx.net_stamp) (measure_net ctx cpos) in
+  { state = s;
+    packs;
+    cpos;
+    net_len;
+    wirelength = Array.fold_left ( + ) 0 net_len }
+
+let copy_eval e =
+  { state = copy_state e.state;
+    packs = Array.copy e.packs;
+    cpos = Array.copy e.cpos;
+    net_len = Array.copy e.net_len;
+    wirelength = e.wirelength }
+
+(* Bring the caches back in sync after [e.state] was perturbed. *)
+let resync ctx e =
+  let s = e.state in
+  let packs = pack_all s ~spacing:ctx.spacing in
+  enforce_tsl ctx.cl s packs;
+  e.packs <- packs;
+  ctx.stamp_gen <- ctx.stamp_gen + 1;
+  let gen = ctx.stamp_gen in
+  let moved = ref [] in
+  Array.iteri
+    (fun c (t, idx) ->
+      let p : Bstar.packing = packs.(t) in
+      let np =
+        Point3.make p.Bstar.xs.(idx) p.Bstar.ys.(idx) (tier_z ~z_gap:ctx.z_gap t)
+      in
+      if not (Point3.equal np e.cpos.(c)) then begin
+        e.cpos.(c) <- np;
+        moved := c :: !moved
+      end)
+    s.cluster_slot;
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun i ->
+          if ctx.net_stamp.(i) <> gen then begin
+            ctx.net_stamp.(i) <- gen;
+            let len = measure_net ctx e.cpos i in
+            e.wirelength <- e.wirelength + len - e.net_len.(i);
+            e.net_len.(i) <- len
+          end)
+        ctx.index.(c))
+    !moved;
+  e
+
 (* Tier count heuristic: balance the stack height against the tier
    footprint so the result is roughly as tall as a tier plane is deep. *)
 let default_tier_count cl ~spacing ~z_gap =
@@ -221,7 +331,26 @@ let default_tier_count cl ~spacing ~z_gap =
   let guess = int_of_float (sqrt (float_of_int area /. (pitch *. float_of_int max_d))) in
   max 1 (min n (max guess 1))
 
-let place ?(trace = Trace.noop) config cl nets =
+(* The annealer bundle: everything [Sa.run] needs over [eval] solutions.
+   Shared between [place] and the micro-benchmark hook so both measure the
+   same inner loop. *)
+type annealer = {
+  a_rng : Rng.t;
+  a_init : eval;
+  a_cost : eval -> float;
+  a_full_cost : eval -> float;
+  a_perturb : Rng.t -> eval -> eval;
+}
+
+let sa_check_every () =
+  match Sys.getenv_opt "TQEC_SA_CHECK" with
+  | None -> None
+  | Some v ->
+      (match int_of_string_opt v with
+       | Some n when n >= 1 -> Some n
+       | Some _ | None -> Some 64)
+
+let make_annealer ?(trace = Trace.noop) config cl nets =
   Cluster.equalize_tsl cl;
   let ntiers =
     match config.tiers with
@@ -240,11 +369,14 @@ let place ?(trace = Trace.noop) config cl nets =
     float_of_int
       (max 1 (wirelength_of cl (cluster_positions cl init packs0 ~z_gap) nets))
   in
-  let cost s =
-    let packs = pack_all s ~spacing in
-    let d, w, h = overall_dims packs ~z_gap in
+  let ctx = make_ctx cl nets ~spacing ~z_gap in
+  let combine ~volume_term ~wirelength_term ~aspect_term =
+    volume_term +. wirelength_term +. aspect_term
+  in
+  let cost e =
+    let d, w, h = overall_dims e.packs ~z_gap in
     let v = float_of_int (d * w * h) in
-    let l = float_of_int (wirelength_of cl (cluster_positions cl s packs ~z_gap) nets) in
+    let l = float_of_int e.wirelength in
     (* Tier-plane aspect: keeping width and depth comparable avoids the
        degenerate snake floorplans that pack well but route terribly. *)
     let r = float_of_int w /. float_of_int (max 1 d) in
@@ -256,14 +388,46 @@ let place ?(trace = Trace.noop) config cl nets =
       Trace.observe trace "cost/wirelength_term" wirelength_term;
       Trace.observe trace "cost/aspect_term" aspect_term
     end;
-    volume_term +. wirelength_term +. aspect_term
+    combine ~volume_term ~wirelength_term ~aspect_term
+  in
+  (* From-scratch reference: bypasses the packing cache and the net-length
+     deltas entirely. Must stay the mirror image of [cost]. *)
+  let full_cost e =
+    let packs = Array.map (fun tree -> Bstar.repack ~spacing tree) e.state.trees in
+    let d, w, h = overall_dims packs ~z_gap in
+    let v = float_of_int (d * w * h) in
+    let l =
+      float_of_int (wirelength_of cl (cluster_positions cl e.state packs ~z_gap) nets)
+    in
+    let r = float_of_int w /. float_of_int (max 1 d) in
+    combine
+      ~volume_term:(config.alpha *. v /. v_norm)
+      ~wirelength_term:(config.beta *. l /. l_norm)
+      ~aspect_term:(config.gamma *. ((r -. config.aspect_target) ** 2.0))
+  in
+  let perturb rng e =
+    perturb_state cl rng e.state;
+    resync ctx e
+  in
+  { a_rng = rng;
+    a_init = eval_of_state ctx init;
+    a_cost = cost;
+    a_full_cost = full_cost;
+    a_perturb = perturb }
+
+let place ?(trace = Trace.noop) config cl nets =
+  let a = make_annealer ~trace config cl nets in
+  let z_gap = config.z_gap and spacing = config.spacing in
+  let check, check_every =
+    match sa_check_every () with
+    | Some n -> (Some a.a_full_cost, n)
+    | None -> (None, 1)
   in
   let stats =
-    Sa.run ~trace ~rng ~init ~copy:copy_state ~cost
-      ~perturb:(fun rng s -> perturb cl ~spacing rng s)
-      config.sa
+    Sa.run ~trace ?check ~check_every ~rng:a.a_rng ~init:a.a_init ~copy:copy_eval
+      ~cost:a.a_cost ~perturb:a.a_perturb config.sa
   in
-  let final = stats.Sa.best in
+  let final = stats.Sa.best.state in
   let packs = pack_all final ~spacing in
   let cluster_pos = cluster_positions cl final packs ~z_gap in
   let module_pos =
@@ -276,7 +440,7 @@ let place ?(trace = Trace.noop) config cl nets =
   let wirelength = wirelength_of cl cluster_pos nets in
   if Trace.enabled trace then begin
     Trace.incr ~n:(Cluster.num_clusters cl) trace "clusters";
-    Trace.incr ~n:ntiers trace "tiers";
+    Trace.incr ~n:(Array.length final.trees) trace "tiers";
     Trace.incr ~n:(d * w * h) trace "placed_volume";
     Trace.incr ~n:wirelength trace "wirelength";
     Trace.gauge trace "sa_final_cost" stats.Sa.best_cost
@@ -290,6 +454,36 @@ let place ?(trace = Trace.noop) config cl nets =
     wirelength;
     sa_accepted = stats.Sa.accepted;
     sa_improved = stats.Sa.improved }
+
+(* One SA move evaluation — copy, perturb, incremental cost — exactly as the
+   annealer's inner loop performs it. For Bechamel and BENCH_*.json. *)
+let sa_eval_bench config cl nets =
+  let a = make_annealer config cl nets in
+  fun () -> ignore (a.a_cost (a.a_perturb a.a_rng (copy_eval a.a_init)))
+
+(* Random-walk differential check of the incremental evaluation, independent
+   of the TQEC_SA_CHECK env hook so property tests can drive it directly. *)
+let check_incremental_cost ?(iterations = 200) config cl nets =
+  let a = make_annealer config cl nets in
+  let current = ref a.a_init in
+  let result = ref (Ok ()) in
+  (try
+     for i = 1 to iterations do
+       let candidate = a.a_perturb a.a_rng (copy_eval !current) in
+       let inc = a.a_cost candidate in
+       let full = a.a_full_cost candidate in
+       if Float.abs (inc -. full) > 1e-9 *. Float.max 1.0 (Float.abs full) then begin
+         result :=
+           Error
+             (Printf.sprintf
+                "incremental cost %.17g <> full recomputation %.17g after %d moves"
+                inc full i);
+         raise Exit
+       end;
+       current := candidate
+     done
+   with Exit -> ());
+  !result
 
 let pin_position p pin_id =
   let pin = p.cluster.Cluster.modular.Modular.pins.(pin_id) in

@@ -52,6 +52,27 @@ val place :
     SA move counters and per-evaluation cost-component distributions without
     affecting the result. *)
 
+val sa_eval_bench :
+  config -> Cluster.t -> Tqec_bridge.Bridge.net list -> unit -> unit
+(** [sa_eval_bench config cl nets] builds the annealer once and returns a
+    thunk performing exactly one SA move evaluation (solution copy,
+    perturbation, incremental cost) per call — the unit Bechamel and the
+    [sa_moves_per_sec] baseline measure. *)
+
+val check_incremental_cost :
+  ?iterations:int ->
+  config ->
+  Cluster.t ->
+  Tqec_bridge.Bridge.net list ->
+  (unit, string) Stdlib.result
+(** Random-walk differential check: perturb repeatedly and compare the
+    incrementally maintained cost against a from-scratch re-evaluation
+    (packing cache bypassed, wirelength re-summed over every net) at each
+    step. [Error] pinpoints the first divergence beyond 1e-9 relative.
+    The same comparison runs inside {!place} every N moves when the
+    [TQEC_SA_CHECK] environment variable is set (its value is N when it
+    parses as a positive integer, else 64). *)
+
 val pin_position : placement -> int -> Tqec_geom.Point3.t
 (** Absolute position of a pin after placement. *)
 

@@ -19,7 +19,26 @@ type 'a stats = {
   improved : int;
 }
 
-let run ?(trace = Trace.noop) ~rng ~init ~copy ~cost ~perturb params =
+let check_tolerance = 1e-9
+
+let run ?(trace = Trace.noop) ?check ?(check_every = 64) ~rng ~init ~copy ~cost
+    ~perturb params =
+  let check_every = max 1 check_every in
+  let verify i candidate c =
+    match check with
+    | Some full when i mod check_every = 0 ->
+        let reference = full candidate in
+        if
+          Float.abs (reference -. c)
+          > check_tolerance *. Float.max 1.0 (Float.abs reference)
+        then
+          failwith
+            (Printf.sprintf
+               "Sa.run: incremental cost %.17g diverged from full recomputation \
+                %.17g at move %d"
+               c reference i)
+    | Some _ | None -> ()
+  in
   let current = ref init in
   let current_cost = ref (cost init) in
   let best = ref (copy init) in
@@ -32,6 +51,7 @@ let run ?(trace = Trace.noop) ~rng ~init ~copy ~cost ~perturb params =
     let temp = params.start_temp *. (ratio ** (float_of_int i /. float_of_int n)) in
     let candidate = perturb rng (copy !current) in
     let c = cost candidate in
+    verify i candidate c;
     let delta = c -. !current_cost in
     let accept =
       if delta <= 0.0 then true

@@ -50,6 +50,9 @@ type workspace = {
   stamp : int array;          (* generation marker per cell *)
   parent : int array;         (* encoded predecessor cell, -1 for sources *)
   history : float array;      (* PathFinder history cost per cell *)
+  goal_mark : int array;      (* generation-stamped goal-set membership *)
+  start_mark : int array;     (* generation-stamped start-set membership *)
+  heap : int Binheap.t;       (* open list, cleared and reused per search *)
   mutable generation : int;
   mutable n_expansions : int; (* A* nodes popped, across all searches *)
   mutable n_pushes : int;     (* heap pushes, across all searches *)
@@ -62,6 +65,9 @@ let make_workspace grid =
     stamp = Array.make n 0;
     parent = Array.make n (-1);
     history = Array.make n 0.0;
+    goal_mark = Array.make n 0;
+    start_mark = Array.make n 0;
+    heap = Binheap.create ();
     generation = 0;
     n_expansions = 0;
     n_pushes = 0 }
@@ -73,21 +79,20 @@ let make_workspace grid =
    dominates path shape anyway. Goal cells other than [target] may be
    reached before the heuristic predicts; that only costs optimality toward
    friend terminals, never correctness. *)
-let astar ws ~max_expansions ~present_penalty ~occupancy ~region ~starts ~goals ~target =
+let astar ws ~max_expansions ~present_penalty ~occ ~region ~starts ~goals ~target =
   let grid = ws.grid in
   let nx, ny, _nz = Grid.extents grid in
   let o = Grid.origin grid in
   let ox = o.Point3.x and oy = o.Point3.y and oz = o.Point3.z in
   ws.generation <- ws.generation + 1;
   let gen = ws.generation in
-  let heap = Binheap.create () in
-  let goal_mark : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let heap = ws.heap in
+  Binheap.clear heap;
   List.iter
-    (fun p -> if Grid.in_bounds grid p then Hashtbl.replace goal_mark (Grid.encode grid p) ())
+    (fun p -> if Grid.in_bounds grid p then ws.goal_mark.(Grid.encode grid p) <- gen)
     goals;
-  let start_mark : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter
-    (fun p -> if Grid.in_bounds grid p then Hashtbl.replace start_mark (Grid.encode grid p) ())
+    (fun p -> if Grid.in_bounds grid p then ws.start_mark.(Grid.encode grid p) <- gen)
     starts;
   (* Region and heuristic in local integer coordinates. *)
   let rlo = region.Cuboid.lo and rhi = region.Cuboid.hi in
@@ -117,12 +122,14 @@ let astar ws ~max_expansions ~present_penalty ~occupancy ~region ~starts ~goals 
     (fun p -> if Grid.in_bounds grid p then push_c ~from:(-1) (Grid.encode grid p) 0)
     starts;
   let step_cost c =
-    let occ = float_of_int (occupancy c) in
+    let o = float_of_int occ.(c) in
     quantum
-    + int_of_float (float_of_int quantum *. (ws.history.(c) +. (present_penalty *. occ)))
+    + int_of_float (float_of_int quantum *. (ws.history.(c) +. (present_penalty *. o)))
   in
   let traversable c =
-    (not (Grid.blocked_c grid c)) || Hashtbl.mem goal_mark c || Hashtbl.mem start_mark c
+    (not (Grid.blocked_c grid c))
+    || ws.goal_mark.(c) = gen
+    || ws.start_mark.(c) = gen
   in
   let found = ref (-1) in
   let continue_ = ref true in
@@ -135,7 +142,7 @@ let astar ws ~max_expansions ~present_penalty ~occupancy ~region ~starts ~goals 
       | None -> continue_ := false
       | Some (neg_key, c) ->
           if seen c && -neg_key = ws.g_score.(c) + h_c c then begin
-            if Hashtbl.mem goal_mark c then begin
+            if ws.goal_mark.(c) = gen then begin
               found := c;
               continue_ := false
             end
@@ -171,18 +178,29 @@ let astar ws ~max_expansions ~present_penalty ~occupancy ~region ~starts ~goals 
 type state = {
   ws : workspace;
   base : Grid.t;                            (* modules only *)
+  occ : int array;                          (* encoded cell -> #committed nets *)
   cell_owner : (int, int list) Hashtbl.t;   (* encoded cell -> net ids *)
   committed : (int, routed_net) Hashtbl.t;  (* net id -> routed *)
+  ends : (int, Point3.t * Point3.t) Hashtbl.t;
+      (* net id -> cached path endpoints; avoids O(path) List.nth scans in
+         the uncommit cascade and conflict arbitration *)
   pin_nets : (int, int list) Hashtbl.t;     (* pin -> nets using it *)
 }
 
+let rec path_last = function
+  | [ p ] -> p
+  | _ :: tl -> path_last tl
+  | [] -> invalid_arg "Router.path_last: empty path"
+
 let commit st rn =
   Hashtbl.replace st.committed rn.net.Bridge.net_id rn;
+  Hashtbl.replace st.ends rn.net.Bridge.net_id (List.hd rn.path, path_last rn.path);
   List.iter
     (fun p ->
       let c = Grid.encode st.ws.grid p in
       let owners = Option.value ~default:[] (Hashtbl.find_opt st.cell_owner c) in
-      Hashtbl.replace st.cell_owner c (rn.net.Bridge.net_id :: owners))
+      Hashtbl.replace st.cell_owner c (rn.net.Bridge.net_id :: owners);
+      st.occ.(c) <- st.occ.(c) + 1)
     rn.path
 
 (* Rip a net up. Nets whose friend terminal rests on the victim's path would
@@ -192,6 +210,7 @@ let rec uncommit st net_id ~requeue =
   | None -> ()
   | Some rn ->
       Hashtbl.remove st.committed net_id;
+      Hashtbl.remove st.ends net_id;
       requeue rn.net;
       let dependents = ref [] in
       List.iter
@@ -203,14 +222,13 @@ let rec uncommit st net_id ~requeue =
           in
           if owners = [] then Hashtbl.remove st.cell_owner c
           else Hashtbl.replace st.cell_owner c owners;
+          st.occ.(c) <- st.occ.(c) - 1;
           (* Another net ending exactly here used this path as its friend
              terminal: it must be re-routed too. *)
           List.iter
             (fun other ->
-              match Hashtbl.find_opt st.committed other with
-              | Some orn ->
-                  let first = List.hd orn.path in
-                  let last = List.nth orn.path (List.length orn.path - 1) in
+              match Hashtbl.find_opt st.ends other with
+              | Some (first, last) ->
                   if Point3.equal p first || Point3.equal p last then
                     dependents := other :: !dependents
               | None -> ())
@@ -233,7 +251,10 @@ let friend_cells st ~config ~region pin =
             | Some rn -> List.filter (Cuboid.contains_point region) rn.path)
           net_ids
 
-let route ?(trace = Trace.noop) config placement nets =
+(* Grid, workspace and bookkeeping shared by [route] and the benchmark
+   hook: blocked module bodies, soft-boundary history surcharges,
+   pin->nets map and pre-charged pin mouths. *)
+let init_state config placement nets =
   let modular = placement.Place25d.cluster.Tqec_place.Cluster.modular in
   let d, w, h = placement.Place25d.dims in
   let halo = config.region_margin + 2 in
@@ -265,8 +286,10 @@ let route ?(trace = Trace.noop) config placement nets =
   let st =
     { ws;
       base;
+      occ = Array.make (Grid.size base) 0;
       cell_owner = Hashtbl.create 1024;
       committed = Hashtbl.create 256;
+      ends = Hashtbl.create 256;
       pin_nets = Hashtbl.create 256 }
   in
   List.iter
@@ -296,8 +319,6 @@ let route ?(trace = Trace.noop) config placement nets =
           end)
         (Point3.neighbors pos))
     st.pin_nets;
-  let net_len n = Point3.manhattan (pin_pos n.Bridge.pin_a) (pin_pos n.Bridge.pin_b) in
-  let sorted = List.stable_sort (fun a b -> Int.compare (net_len a) (net_len b)) nets in
   let grid_box = Cuboid.make lo hi in
   let region_of ~extra n =
     let pa = pin_pos n.Bridge.pin_a and pb = pin_pos n.Bridge.pin_b in
@@ -310,23 +331,26 @@ let route ?(trace = Trace.noop) config placement nets =
     in
     match Cuboid.intersect box grid_box with Some r -> r | None -> grid_box
   in
-  let occupancy c =
-    match Hashtbl.find_opt st.cell_owner c with
-    | Some owners -> List.length owners
-    | None -> 0
-  in
   let attempt ~extra ~present_penalty n =
     let pa = pin_pos n.Bridge.pin_a and pb = pin_pos n.Bridge.pin_b in
     let region = region_of ~extra n in
     let starts = pa :: friend_cells st ~config ~region n.Bridge.pin_a in
     let goals = pb :: friend_cells st ~config ~region n.Bridge.pin_b in
     match
-      astar st.ws ~max_expansions:config.max_expansions ~present_penalty ~occupancy
+      astar st.ws ~max_expansions:config.max_expansions ~present_penalty ~occ:st.occ
         ~region ~starts ~goals ~target:pb
     with
     | Some path -> Some { net = n; path }
     | None -> None
   in
+  (st, mouth_owner, pin_pos, attempt)
+
+let route ?(trace = Trace.noop) config placement nets =
+  let st, mouth_owner, pin_pos, attempt = init_state config placement nets in
+  let ws = st.ws in
+  let modular = placement.Place25d.cluster.Tqec_place.Cluster.modular in
+  let net_len n = Point3.manhattan (pin_pos n.Bridge.pin_a) (pin_pos n.Bridge.pin_b) in
+  let sorted = List.stable_sort (fun a b -> Int.compare (net_len a) (net_len b)) nets in
   (* Conflict detection: a cell shared by two or more nets is legal only when
      at most one of them crosses it as path interior — the others must
      terminate there (friend-net terminals). Returns the younger interior
@@ -341,12 +365,10 @@ let route ?(trace = Trace.noop) config placement nets =
           let interior =
             List.filter
               (fun id ->
-                match Hashtbl.find_opt st.committed id with
+                match Hashtbl.find_opt st.ends id with
                 | None -> false
-                | Some rn ->
+                | Some (first, last) ->
                     let p = Grid.decode st.ws.grid cell in
-                    let first = List.hd rn.path in
-                    let last = List.nth rn.path (List.length rn.path - 1) in
                     not (Point3.equal p first || Point3.equal p last))
               owners
           in
@@ -409,7 +431,7 @@ let route ?(trace = Trace.noop) config placement nets =
                in full, so take big steps toward the whole grid. *)
             Hashtbl.replace extra n.Bridge.net_id
               (max config.region_expand (2 * get_extra n));
-            if Sys.getenv_opt "TQEC_ROUTE_DEBUG" <> None && !iter >= config.max_iterations - 1 then
+            if debug && !iter >= config.max_iterations - 1 then
               Printf.eprintf "debug: net %d UNROUTED (extra %d)\n%!" n.Bridge.net_id (get_extra n);
             unrouted := n :: !unrouted)
       !pending;
@@ -417,7 +439,7 @@ let route ?(trace = Trace.noop) config placement nets =
     List.iter
       (fun id -> uncommit st id ~requeue:(fun net -> ripped := net :: !ripped))
       (conflicted_nets ());
-    if Sys.getenv_opt "TQEC_ROUTE_DEBUG" <> None && !iter >= config.max_iterations - 1 then
+    if debug && !iter >= config.max_iterations - 1 then
       List.iter (fun (net : Bridge.net) ->
         Printf.eprintf "debug: net %d RIPPED\n%!" net.Bridge.net_id) !ripped;
     (* A ripped net must look for a detour next time: grow its region too,
@@ -508,6 +530,27 @@ let route ?(trace = Trace.noop) config placement nets =
 let routed_segments r =
   List.map (fun rn -> (rn.net.Bridge.net_id, rn.path)) r.routed
 
+(* Benchmark hook: one repeatable A* search over the real routing grid.
+   Targets the longest net (the costliest single search) on an empty
+   occupancy grid; nothing is ever committed, so every call does identical
+   work. *)
+let astar_bench config placement nets =
+  match nets with
+  | [] -> invalid_arg "Router.astar_bench: no nets"
+  | _ ->
+      let st, _mouth_owner, pin_pos, attempt = init_state config placement nets in
+      let net_len n =
+        Point3.manhattan (pin_pos n.Bridge.pin_a) (pin_pos n.Bridge.pin_b)
+      in
+      let longest =
+        List.fold_left
+          (fun best n -> if net_len n > net_len best then n else best)
+          (List.hd nets) nets
+      in
+      let expansions () = st.ws.n_expansions in
+      let search () = ignore (attempt ~extra:0 ~present_penalty:2.0 longest) in
+      (search, expansions)
+
 module Pset = Set.Make (Point3)
 
 let validate placement result =
@@ -518,46 +561,50 @@ let validate placement result =
         if Point3.manhattan a b <> 1 then false else contiguous rest
     | [ _ ] | [] -> true
   in
-  (* First pass: collect all cells of all paths with multiplicity, and every
-     path's endpoints. *)
+  (* Single traversal per path: cell multiplicities and the (first, last)
+     endpoint pair of every net, computed once and reused by both passes. *)
   let use_count : (Point3.t, int) Hashtbl.t = Hashtbl.create 1024 in
   let endpoints = ref Pset.empty in
-  List.iter
-    (fun rn ->
-      List.iter
-        (fun p ->
-          let c = Option.value ~default:0 (Hashtbl.find_opt use_count p) in
-          Hashtbl.replace use_count p (c + 1))
-        rn.path;
-      match rn.path with
-      | [] -> ()
-      | first :: _ ->
-          let last = List.nth rn.path (List.length rn.path - 1) in
-          endpoints := Pset.add first (Pset.add last !endpoints))
-    result.routed;
+  let net_ends =
+    List.map
+      (fun rn ->
+        List.iter
+          (fun p ->
+            let c = Option.value ~default:0 (Hashtbl.find_opt use_count p) in
+            Hashtbl.replace use_count p (c + 1))
+          rn.path;
+        match rn.path with
+        | [] -> (rn, None)
+        | first :: _ ->
+            let last = path_last rn.path in
+            endpoints := Pset.add first (Pset.add last !endpoints);
+            (rn, Some (first, last)))
+      result.routed
+  in
   let rec check_all = function
     | [] -> Ok ()
-    | rn :: rest ->
-        if rn.path = [] then err "net %d has an empty path" rn.net.Bridge.net_id
-        else if not (contiguous rn.path) then
-          err "net %d path is not axis-connected" rn.net.Bridge.net_id
-        else begin
-          let first = List.hd rn.path in
-          let last = List.nth rn.path (List.length rn.path - 1) in
-          let pa = pin_pos rn.net.Bridge.pin_a and pb = pin_pos rn.net.Bridge.pin_b in
-          (* Each endpoint is either one of the net's own pins or a friend
-             terminal, i.e. a cell also used by another routed net. *)
-          let endpoint_valid p =
-            Point3.equal p pa || Point3.equal p pb
-            || Option.value ~default:0 (Hashtbl.find_opt use_count p) >= 2
-          in
-          if not (endpoint_valid first && endpoint_valid last) then
-            err "net %d has an endpoint that is neither pin nor friend cell"
-              rn.net.Bridge.net_id
-          else check_all rest
-        end
+    | (rn, ends) :: rest -> (
+        match ends with
+        | None -> err "net %d has an empty path" rn.net.Bridge.net_id
+        | Some (first, last) ->
+            if not (contiguous rn.path) then
+              err "net %d path is not axis-connected" rn.net.Bridge.net_id
+            else begin
+              let pa = pin_pos rn.net.Bridge.pin_a
+              and pb = pin_pos rn.net.Bridge.pin_b in
+              (* Each endpoint is either one of the net's own pins or a friend
+                 terminal, i.e. a cell also used by another routed net. *)
+              let endpoint_valid p =
+                Point3.equal p pa || Point3.equal p pb
+                || Option.value ~default:0 (Hashtbl.find_opt use_count p) >= 2
+              in
+              if not (endpoint_valid first && endpoint_valid last) then
+                err "net %d has an endpoint that is neither pin nor friend cell"
+                  rn.net.Bridge.net_id
+              else check_all rest
+            end)
   in
-  match check_all result.routed with
+  match check_all net_ends with
   | Error _ as e -> e
   | Ok () ->
       (* A cell used by two nets must be an endpoint (friend terminal). *)

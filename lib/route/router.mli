@@ -52,6 +52,17 @@ val route :
     attempted/routed/unrouted/ripped counters, plus A* expansion, heap-push
     and rip-up totals on [trace] itself. Recording never affects routing. *)
 
+val astar_bench :
+  config ->
+  Tqec_place.Place25d.placement ->
+  Tqec_bridge.Bridge.net list ->
+  (unit -> unit) * (unit -> int)
+(** [astar_bench config placement nets] builds the routing grid once and
+    returns [(search, expansions)]: [search ()] runs one A* search for the
+    longest net over an empty occupancy grid (identical work every call —
+    the unit Bechamel and the [astar_expansions_per_sec] baseline measure);
+    [expansions ()] reads the cumulative node-expansion counter. *)
+
 val routed_segments : result -> (int * Tqec_geom.Point3.t list) list
 (** [(net_id, path)] for every routed net, ordered by net id — the raw
     geometry view consumed by the independent layout oracle

@@ -44,10 +44,16 @@ let test_volume_prop () =
 let test_oracle_prop () =
   expect_pass ~count:5 ~seed:7 (Props.oracle ~max_qubits:4 ~max_gates:8)
 
+let test_pack_cache_prop () = expect_pass ~count:100 ~seed:7 Props.pack_cache
+
+let test_incremental_cost_prop () =
+  expect_pass ~count:6 ~seed:7 (Props.incremental_cost ~max_qubits:4 ~max_gates:8)
+
 let test_prop_names () =
   Alcotest.(check (list string))
     "property registry"
-    [ "decomposition-semantics"; "volume-vs-lin"; "oracle-agreement" ]
+    [ "decomposition-semantics"; "volume-vs-lin"; "oracle-agreement";
+      "bstar-pack-cache"; "sa-incremental-cost" ]
     (List.map Props.name (Props.all ~max_qubits:4 ~max_gates:8))
 
 let suites =
@@ -58,4 +64,7 @@ let suites =
         Alcotest.test_case "semantics property" `Quick test_semantics_prop;
         Alcotest.test_case "volume property" `Quick test_volume_prop;
         Alcotest.test_case "oracle property" `Quick test_oracle_prop;
+        Alcotest.test_case "pack-cache property" `Quick test_pack_cache_prop;
+        Alcotest.test_case "incremental-cost property" `Quick
+          test_incremental_cost_prop;
         Alcotest.test_case "property names" `Quick test_prop_names ] ) ]

@@ -88,6 +88,43 @@ let test_bstar_perturbations_preserve_structure () =
     | Error e -> Alcotest.fail e
   done
 
+let packing_equal a b =
+  a.Bstar.xs = b.Bstar.xs && a.Bstar.ys = b.Bstar.ys
+  && a.Bstar.span_x = b.Bstar.span_x
+  && a.Bstar.span_y = b.Bstar.span_y
+
+let check_coherent msg t =
+  Alcotest.(check bool) msg true (packing_equal (Bstar.pack t) (Bstar.repack t))
+
+(* The subtle cache path: swapping two equal-dimension blocks keeps the
+   packing geometry but exchanges the blocks' coordinates, and the fixup
+   must not mutate a packing shared with an earlier copy. *)
+let test_bstar_cache_equal_dims_swap () =
+  let t = blocks_of [ (2, 3); (2, 3); (4, 1); (1, 1) ] in
+  ignore (Bstar.pack t);
+  let before = Bstar.copy t in
+  let snapshot = Bstar.pack before in
+  Bstar.swap_blocks t 0 1;
+  check_coherent "cache coherent after equal-dims swap" t;
+  Alcotest.(check bool) "copy's packing untouched by the swap fixup" true
+    (packing_equal snapshot (Bstar.repack before))
+
+let test_bstar_cache_invalidation () =
+  let t = blocks_of [ (3, 2); (2, 5); (4, 4) ] in
+  ignore (Bstar.pack t);
+  Bstar.set_block_dims t 1 (2, 5);
+  check_coherent "no-op resize keeps a valid cache" t;
+  Bstar.set_block_dims t 1 (5, 2);
+  check_coherent "real resize invalidates" t;
+  let rng = Rng.create 11 in
+  Bstar.move_block ~rng t 2;
+  check_coherent "move invalidates" t;
+  (* Different spacing must never be served from the cache. *)
+  let p0 = Bstar.pack ~spacing:0 t and p1 = Bstar.pack ~spacing:1 t in
+  Alcotest.(check bool) "spacing distinguishes cache entries" true
+    (packing_equal p0 (Bstar.repack ~spacing:0 t)
+     && packing_equal p1 (Bstar.repack ~spacing:1 t))
+
 let prop_bstar_pack_area =
   QCheck.Test.make ~name:"packing area >= total block area" ~count:100
     QCheck.(list_of_size (QCheck.Gen.int_range 1 15) (pair (int_range 1 5) (int_range 1 5)))
@@ -249,6 +286,9 @@ let suites =
       [ Alcotest.test_case "pack no overlap" `Quick test_bstar_pack_no_overlap;
         Alcotest.test_case "spacing" `Quick test_bstar_spacing;
         Alcotest.test_case "bounding box" `Quick test_bstar_bounding_box;
+        Alcotest.test_case "cache equal-dims swap" `Quick
+          test_bstar_cache_equal_dims_swap;
+        Alcotest.test_case "cache invalidation" `Quick test_bstar_cache_invalidation;
         Alcotest.test_case "perturbations valid" `Quick
           test_bstar_perturbations_preserve_structure;
         QCheck_alcotest.to_alcotest prop_bstar_pack_area;
