@@ -1,4 +1,4 @@
-.PHONY: all build test check fuzz bench perf clean
+.PHONY: all build test check lint fuzz bench perf clean
 
 all: build
 
@@ -8,16 +8,31 @@ build:
 test:
 	dune runtest
 
-# Full gate: build, tests, a smoke run of the CLI that must produce a
-# parseable metrics file with every stage duration and counter present,
-# then a fixed-seed differential fuzzing pass.
-check: build
+# Full gate, staged: build -> tests (incl. a CLI smoke run that must produce
+# a parseable metrics file) -> determinism/hot-path lint -> fixed-seed
+# differential fuzzing -> perf/volume regression gate.
+check:
+	@echo "==== check [1/5] build ============================================"
+	dune build
+	@echo "==== check [2/5] tests ============================================"
 	dune runtest
 	dune exec bin/tqec_compress.exe -- --benchmark 4gt10-v1_81 \
 	  --trace --metrics-json _build/metrics_smoke.json
 	dune exec bin/tqec_metrics_check.exe -- _build/metrics_smoke.json
+	@echo "==== check [3/5] lint ============================================="
+	$(MAKE) lint
+	@echo "==== check [4/5] fuzz ============================================="
 	$(MAKE) fuzz
-	@if [ "$(TQEC_PERF)" = "1" ]; then $(MAKE) perf; fi
+	@echo "==== check [5/5] perf ============================================="
+	$(MAKE) perf
+	@echo "==== check: all stages passed ====================================="
+
+# Determinism & hot-path static analysis (lib/lint) over every .ml under
+# lib/, bin/ and bench/. Exits non-zero on any unsuppressed finding; see
+# `dune exec bin/tqec_lint.exe -- --list-rules` for the rule catalogue and
+# DESIGN.md for the suppression policy.
+lint: build
+	dune exec bin/tqec_lint.exe -- lib bin bench
 
 # Deterministic property-based fuzzing: random circuits through the whole
 # pipeline, checked by the independent layout oracle (lib/verify). A failure
@@ -30,8 +45,7 @@ bench:
 
 # Perf regression gate: rerun the fast benchmark subset in --json mode and
 # fail if any space-time volume drifts from the committed BENCH_pr3.json
-# (times and rates are machine-dependent, reported informationally). Also
-# runs under `make check` when TQEC_PERF=1.
+# (times and rates are machine-dependent, reported informationally).
 PERF_SUBSET = 4gt10-v1_81,4gt4-v0_73
 perf: build
 	TQEC_EFFORT=fast TQEC_BENCH_ONLY=$(PERF_SUBSET) \

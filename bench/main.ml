@@ -477,7 +477,7 @@ let bechamel_section () =
     print_endline "(skipped: TQEC_SKIP_BECHAMEL set)"
   else begin
     let open Bechamel in
-    let prep = prepare (List.nth Benchmarks.all 0 (* 4gt10-v1_81 *)) in
+    let prep = prepare (List.hd Benchmarks.all (* 4gt10-v1_81 *)) in
     let bridge_test =
       Test.make ~name:"bridge:4gt10"
         (Staged.stage (fun () -> ignore (Tqec_bridge.Bridge.run prep.modular)))
@@ -553,12 +553,12 @@ let bechamel_section () =
     List.iter
       (fun test ->
         let results = analyze (benchmark test) in
-        Hashtbl.iter
-          (fun name result ->
-            match Analyze.OLS.estimates result with
-            | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
-            | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
-          results)
+        Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.iter (fun (name, result) ->
+               match Analyze.OLS.estimates result with
+               | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+               | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name))
       [ bridge_test; pack_test; sa_eval_test; astar_test; rtree_test; sim_test ]
   end
 
@@ -607,26 +607,25 @@ let json_mode () =
             ("benchmarks", Json.List benches) ]))
 
 let () =
-  if Array.exists (( = ) "--json") Sys.argv then begin
-    json_mode ();
-    exit 0
-  end;
-  Printf.printf "tqec bench harness (effort=%s, seed=%d)\n" (effort_name ()) seed;
-  table1 ();
-  Printf.printf
-    "\n(flow-based tables below cover the %d benchmark(s) within the %s effort\n\
-    \ budget; set TQEC_EFFORT=full to compress all eight)\n"
-    (List.length (flow_specs ()))
-    (effort_name ());
-  table2_and_4 ();
-  table3 ();
-  table5 ();
-  table6 ();
-  table_metrics ();
-  fig5 ();
-  fig6_7 ();
-  fig8 ();
-  fig9 ();
-  fig20 ();
-  bechamel_section ();
-  print_endline "\nbench: done"
+  if Array.exists (( = ) "--json") Sys.argv then json_mode ()
+  else begin
+    Printf.printf "tqec bench harness (effort=%s, seed=%d)\n" (effort_name ()) seed;
+    table1 ();
+    Printf.printf
+      "\n(flow-based tables below cover the %d benchmark(s) within the %s effort\n\
+      \ budget; set TQEC_EFFORT=full to compress all eight)\n"
+      (List.length (flow_specs ()))
+      (effort_name ());
+    table2_and_4 ();
+    table3 ();
+    table5 ();
+    table6 ();
+    table_metrics ();
+    fig5 ();
+    fig6_7 ();
+    fig8 ();
+    fig9 ();
+    fig20 ();
+    bechamel_section ();
+    print_endline "\nbench: done"
+  end

@@ -1,0 +1,58 @@
+(* Determinism & hot-path lint driver.
+
+   usage: tqec_lint [--json] [--list-rules] [path ...]
+
+   Paths may be .ml files or directories (recursed; _build and dot-dirs are
+   skipped). Defaults to lib bin bench, i.e. the surfaces whose behaviour
+   the perf and fuzz gates depend on. Exits 1 on any unsuppressed finding. *)
+
+module Json = Tqec_obs.Json
+
+let usage = "usage: tqec_lint [--json] [--list-rules] [path ...]"
+
+let rec ml_files_under path =
+  if Sys.is_directory path then begin
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.to_list entries
+    |> List.concat_map (fun entry ->
+           if String.length entry = 0 || entry.[0] = '.' || entry.[0] = '_' then []
+           else ml_files_under (Filename.concat path entry))
+  end
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let () =
+  let json = ref false in
+  let list_rules = ref false in
+  let paths = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | "--list-rules" -> list_rules := true
+        | "--help" | "-h" ->
+            print_endline usage;
+            exit 0
+        | _ when String.length arg > 0 && arg.[0] = '-' ->
+            prerr_endline ("tqec_lint: unknown option " ^ arg);
+            prerr_endline usage;
+            exit 2
+        | _ -> paths := arg :: !paths)
+    Sys.argv;
+  if !list_rules then begin
+    List.iter (fun (name, doc) -> Printf.printf "%-18s %s\n" name doc) Lint.rules;
+    exit 0
+  end;
+  let roots =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+  in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) roots in
+  List.iter (fun p -> prerr_endline ("tqec_lint: no such path " ^ p)) missing;
+  if missing <> [] then exit 2;
+  let files = List.concat_map ml_files_under roots in
+  let report = Lint.lint_files files in
+  if !json then print_endline (Json.to_string ~pretty:true (Lint.to_json report))
+  else print_string (Lint.to_text report);
+  exit (if report.Lint.findings = [] then 0 else 1)

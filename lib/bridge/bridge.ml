@@ -87,10 +87,11 @@ let init_state m =
 module Int_set = Set.Make (Int)
 
 let endpoints c =
+  let rec last_of p = function [] -> p | q :: tl -> last_of q tl in
   match c.pins with
   | [] -> None
   | [ p ] -> Some (p, p)
-  | p :: rest -> Some (p, List.nth rest (List.length rest - 1))
+  | p :: rest -> Some (p, last_of p rest)
 
 (* The local bridge graph around the critical vertices: vertices are the
    b-side pins of the common modules plus the endpoints of chains reachable

@@ -87,7 +87,11 @@ let analyze icm =
     (fun (b, d) ->
       events := (b, 1) :: (d + 1, -1) :: !events)
     life;
-  let sorted = List.sort compare !events in
+  let cmp (t1, d1) (t2, d2) =
+    let c = Int.compare t1 t2 in
+    if c <> 0 then c else Int.compare d1 d2
+  in
+  let sorted = List.sort cmp !events in
   let live = ref 0 and peak = ref 0 in
   List.iter
     (fun (_, delta) ->

@@ -1,0 +1,65 @@
+(** Determinism & hot-path lint over the repo's OCaml sources.
+
+    Built on [compiler-libs.common] only: each [.ml] file is parsed with the
+    compiler's own lexer/parser ([Parse.implementation]) and the resulting
+    Parsetree is walked with [Ast_iterator] against a fixed registry of rules
+    (see {!rules}).  The reproduction's headline property — bit-identical
+    volumes across runs, replayable fuzz seeds — depends on never letting
+    hash-table iteration order, polymorphic structural comparison or ambient
+    wall-clock reads leak into observable output; this pass rejects those
+    patterns statically.
+
+    Findings are suppressible with an attribute carrying a mandatory
+    justification, at expression or let-binding granularity:
+
+    {[
+      (Hashtbl.iter visit tbl) [@tqec.allow "hashtbl-unsorted: per-key work is commutative"]
+      let[@tqec.allow "poly-compare: keys are immediate ints"] f x = ...
+    ]}
+
+    The payload is one string of the form ["rule-name: justification"]; a
+    malformed payload, an unknown rule name or an attribute that suppresses
+    nothing are themselves findings ([bad-allow] / [unused-allow]). *)
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  message : string;
+}
+
+type suppressed = { s_finding : finding; s_justification : string }
+
+type report = {
+  findings : finding list;
+      (** unsuppressed findings, sorted by file, line, column, rule *)
+  suppressed : suppressed list;  (** same order; each used [@tqec.allow] hit *)
+  files_scanned : int;
+}
+
+val attr_name : string
+(** ["tqec.allow"] — the suppression attribute recognised by the pass. *)
+
+val rules : (string * string) list
+(** [(name, one-line description)] for every real rule, in report order.
+    Pseudo-rules [parse-error], [bad-allow] and [unused-allow] are emitted by
+    the harness itself and cannot be suppressed. *)
+
+val lint_source : file:string -> string -> report
+(** Lint one compilation unit given as in-memory source. [file] is used for
+    locations and for the path-scoped rules: [ambient-effect] is waived under
+    [lib/prelude/], [exit] under [bin/]. *)
+
+val lint_files : string list -> report
+(** Read and lint each path, merging per-file reports. An unreadable file
+    yields a [parse-error] finding rather than an exception. *)
+
+val merge : report list -> report
+
+val to_json : report -> Tqec_obs.Json.t
+(** Stable machine-readable shape:
+    [{ "files": n, "findings": [...], "suppressed": [...], "by_rule": {...} }]. *)
+
+val to_text : report -> string
+(** [file:line:col: \[rule\] message] lines followed by a summary. *)

@@ -148,8 +148,12 @@ let of_string input =
                 let hex = String.sub input !pos 4 in
                 pos := !pos + 4;
                 let code =
+                  (* [int_of_string] signals bad digits with [Failure]; keep
+                     the handler that narrow so a genuine runtime error
+                     (Out_of_memory, ...) is never relabelled a parse error. *)
                   try int_of_string ("0x" ^ hex)
-                  with _ -> fail "invalid \\u escape"
+                  with Failure _ | Invalid_argument _ ->
+                    fail "invalid \\u escape"
                 in
                 (* Only the code points we emit (< 0x20) need to survive. *)
                 if code < 0x80 then Buffer.add_char b (Char.chr code)

@@ -133,7 +133,22 @@ let enforce_tsl cl s packs =
                 ((p.Bstar.xs.(idx), t, p.Bstar.ys.(idx)), slot))
               slots
           in
-          let sorted = List.sort compare keyed |> List.map snd in
+          (* Explicit comparator, identical order to the polymorphic compare
+             it replaces: key triple first, then the slot as tie-breaker. *)
+          let cmp ((x1, t1, y1), (s1, i1)) ((x2, t2, y2), (s2, i2)) =
+            let c = Int.compare x1 x2 in
+            if c <> 0 then c
+            else
+              let c = Int.compare t1 t2 in
+              if c <> 0 then c
+              else
+                let c = Int.compare y1 y2 in
+                if c <> 0 then c
+                else
+                  let c = Int.compare s1 s2 in
+                  if c <> 0 then c else Int.compare i1 i2
+          in
+          let sorted = List.sort cmp keyed |> List.map snd in
           List.iter2
             (fun c ((t, idx) as slot) ->
               s.cluster_slot.(c) <- slot;

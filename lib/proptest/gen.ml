@@ -66,5 +66,8 @@ let array_n n g rng = Array.of_list (list_n n g rng)
 let char_range lo hi = map Char.chr (int_range (Char.code lo) (Char.code hi))
 
 let string ~max_len c =
-  map (fun chars -> String.init (List.length chars) (List.nth chars))
+  map
+    (fun chars ->
+      let a = Array.of_list chars in
+      String.init (Array.length a) (Array.get a))
     (list ~max_len c)

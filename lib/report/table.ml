@@ -22,8 +22,9 @@ let render ?align ~header rows =
         (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
         row)
     rows;
+  let aligns = Array.of_list aligns in
   let render_row row =
-    List.mapi (fun i cell -> pad (List.nth aligns i) widths.(i) cell) row
+    List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell) row
     |> String.concat "  "
   in
   let sep =

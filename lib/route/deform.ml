@@ -58,8 +58,9 @@ let shorten placement result =
       (fun acc rn ->
         match rn.Router.path with
         | [] -> acc
-        | first :: _ ->
-            let last = List.nth rn.Router.path (List.length rn.Router.path - 1) in
+        | first :: rest ->
+            let rec last_of p = function [] -> p | q :: tl -> last_of q tl in
+            let last = last_of first rest in
             Pmap.add first () (Pmap.add last () acc))
       Pmap.empty result.Router.routed
   in

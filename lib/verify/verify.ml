@@ -30,7 +30,10 @@ let err fmt = Printf.ksprintf (fun s : (unit, string) Stdlib.result -> Error s) 
 
 let cell_box p = Cuboid.of_origin_size p ~w:1 ~h:1 ~d:1
 
-let last l = List.nth l (List.length l - 1)
+let rec last = function
+  | [ x ] -> x
+  | _ :: tl -> last tl
+  | [] -> invalid_arg "Verify.last: empty list"
 
 (* ------------------------------------------------------------------ *)
 (* module-overlap: R-tree insertion with a pre-insert overlap query.   *)
@@ -140,24 +143,29 @@ let check_path_sharing input =
   match endpoints_ok segments with
   | Error _ as e -> e
   | Ok () ->
-      let bad = ref None in
-      Hashtbl.iter
-        (fun p us ->
-          if !bad = None && List.length us >= 2 then begin
-            let interiors =
-              List.filter_map (fun (id, is_end) -> if is_end then None else Some id) us
-            in
-            match interiors with
-            | _ :: _ :: _ -> bad := Some (p, interiors)
-            | _ -> ()
-          end)
-        users;
-      (match !bad with
-       | Some (p, ids) ->
+      (* Collect every offending cell and report the spatially smallest one,
+         so the error message does not depend on hash-table iteration order. *)
+      let bad =
+        Hashtbl.fold
+          (fun p us acc ->
+            if List.length us >= 2 then begin
+              let interiors =
+                List.filter_map
+                  (fun (id, is_end) -> if is_end then None else Some id)
+                  us
+              in
+              match interiors with _ :: _ :: _ -> (p, interiors) :: acc | _ -> acc
+            end
+            else acc)
+          users []
+        |> List.sort (fun (a, _) (b, _) -> Point3.compare a b)
+      in
+      (match bad with
+       | (p, ids) :: _ ->
            err "cell %s crossed by several net interiors (%s)"
              (Point3.to_string p)
-             (String.concat ", " (List.map string_of_int ids))
-       | None -> Ok ())
+             (String.concat ", " (List.map string_of_int (List.sort Int.compare ids)))
+       | [] -> Ok ())
 
 (* ------------------------------------------------------------------ *)
 (* net-connectivity: BFS over the routed cells of the friend closure.  *)
@@ -321,11 +329,15 @@ let check_bridge input =
                     chain's two (distinct) ends, or through the chain alone
                     when its ends coincide. *)
                  let c = chains.(ci) in
+                 let in_chain pin =
+                   match Hashtbl.find_opt chain_of pin with
+                   | Some c -> c = ci
+                   | None -> false
+                 in
                  let closing =
                    List.exists
                      (fun (n : Bridge.net) ->
-                       Hashtbl.find_opt chain_of n.Bridge.pin_a = Some ci
-                       && Hashtbl.find_opt chain_of n.Bridge.pin_b = Some ci)
+                       in_chain n.Bridge.pin_a && in_chain n.Bridge.pin_b)
                      input.nets
                  in
                  let ends_coincide =

@@ -1,0 +1,242 @@
+(* Fixture-based tests for the determinism & hot-path lint (lib/lint).
+
+   Each fixture is an inline compilation unit handed to [Lint.lint_source]
+   under a synthetic path, since two rules are path-scoped (ambient-effect
+   is waived under lib/prelude/, exit under bin/). *)
+
+module Json = Tqec_obs.Json
+
+let lint ?(file = "lib/fixture/snippet.ml") src = Lint.lint_source ~file src
+let rules_of r = List.map (fun f -> f.Lint.rule) r.Lint.findings
+
+let check_rules name expected src =
+  Alcotest.(check (list string)) name expected (rules_of (lint src))
+
+(* ------------------------------------------------------------------ *)
+(* hashtbl-unsorted                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_hashtbl_flagged () =
+  check_rules "iter flagged" [ "hashtbl-unsorted" ]
+    "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl";
+  check_rules "fold flagged" [ "hashtbl-unsorted" ]
+    "let f tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []";
+  (* The allowance is syntactic: a fold whose result only reaches the sort
+     through a separate let-binding is still flagged. *)
+  check_rules "fold via let-binding still flagged" [ "hashtbl-unsorted" ]
+    "let f tbl =\n\
+    \  let xs = Hashtbl.fold (fun k _ a -> k :: a) tbl [] in\n\
+    \  List.sort Int.compare xs"
+
+let test_hashtbl_sorted_allowance () =
+  check_rules "fold |> sort" []
+    "let f tbl = Hashtbl.fold (fun k _ a -> k :: a) tbl [] |> List.sort Int.compare";
+  check_rules "sort (fold ...)" []
+    "let f tbl = List.sort Int.compare (Hashtbl.fold (fun k _ a -> k :: a) tbl [])";
+  check_rules "sort_uniq @@ fold" []
+    "let f tbl = List.sort_uniq Int.compare @@ Hashtbl.fold (fun k _ a -> k :: a) tbl []";
+  check_rules "fold |> map |> stable_sort" []
+    "let f tbl =\n\
+    \  Hashtbl.fold (fun k v a -> (k, v) :: a) tbl []\n\
+    \  |> List.stable_sort (fun (a, _) (b, _) -> String.compare a b)"
+
+(* ------------------------------------------------------------------ *)
+(* poly-compare / float-lit-eq                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly_compare () =
+  check_rules "bare compare" [ "poly-compare" ] "let x = compare 1 2";
+  check_rules "compare as argument" [ "poly-compare" ]
+    "let f l = List.sort compare l";
+  check_rules "Hashtbl.hash" [ "poly-compare" ] "let h x = Hashtbl.hash x";
+  check_rules "option with variable payload" [ "poly-compare" ]
+    "let f a b = a = Some b";
+  check_rules "tuple operand" [ "poly-compare" ]
+    "let f a b c d = (a, b) < (c, d)";
+  check_rules "typed comparator ok" [] "let f a b = Int.compare a b";
+  check_rules "constant constructor ok" [] "let f a = a = None";
+  check_rules "constant-shaped constructor ok" [] "let f a = a = Some 1";
+  check_rules "empty list ok" [] "let f a = a = []";
+  check_rules "bare variables ok" [] "let f a b = a < b"
+
+let test_float_lit_eq () =
+  check_rules "equality against float literal" [ "float-lit-eq" ]
+    "let f x = x = 1.0";
+  check_rules "inequality against float literal" [ "float-lit-eq" ]
+    "let f x = x <> 0.5";
+  check_rules "negated float literal" [ "float-lit-eq" ]
+    "let f x = x = -.1.5";
+  check_rules "ordering against float literal ok" [] "let f x = x <= 1.0"
+
+(* ------------------------------------------------------------------ *)
+(* ambient-effect / exit: path-scoped rules                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_ambient_effect () =
+  check_rules "Random outside prelude" [ "ambient-effect" ]
+    "let f () = Random.int 3";
+  check_rules "gettimeofday outside prelude" [ "ambient-effect" ]
+    "let f () = Unix.gettimeofday ()";
+  check_rules "Sys.time outside prelude" [ "ambient-effect" ]
+    "let f () = Sys.time ()";
+  Alcotest.(check (list string))
+    "waived under lib/prelude" []
+    (rules_of (lint ~file:"lib/prelude/clock.ml" "let f () = Unix.gettimeofday ()"))
+
+let test_exit_scope () =
+  check_rules "exit in a library" [ "exit" ] "let f () = exit 1";
+  Alcotest.(check (list string))
+    "exit allowed under bin/" []
+    (rules_of (lint ~file:"bin/main.ml" "let () = exit 1"))
+
+(* ------------------------------------------------------------------ *)
+(* catch-all / list-nth                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_catch_all () =
+  check_rules "with _ ->" [ "catch-all" ] "let f g = try g () with _ -> 0";
+  check_rules "exception _ match case" [ "catch-all" ]
+    "let f g = match g () with exception _ -> 0 | v -> v";
+  check_rules "named exception ok" []
+    "let f g = try g () with Failure _ | Invalid_argument _ -> 0";
+  check_rules "wildcard in a plain match ok" []
+    "let f x = match x with 0 -> 1 | _ -> 2"
+
+let test_list_nth () =
+  check_rules "List.nth" [ "list-nth" ] "let f l = List.nth l 3";
+  check_rules "List.nth_opt" [ "list-nth" ] "let f l = List.nth_opt l 3";
+  check_rules "List.hd ok" [] "let f l = List.hd l"
+
+(* ------------------------------------------------------------------ *)
+(* Suppression attributes                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppression_expression_level () =
+  let r =
+    lint
+      "let f tbl =\n\
+      \  (Hashtbl.iter (fun _ _ -> ()) tbl)\n\
+      \  [@tqec.allow \"hashtbl-unsorted: per-key effects commute\"]"
+  in
+  Alcotest.(check (list string)) "no findings" [] (rules_of r);
+  (match r.Lint.suppressed with
+   | [ s ] ->
+       Alcotest.(check string) "rule recorded" "hashtbl-unsorted"
+         s.Lint.s_finding.Lint.rule;
+       Alcotest.(check string) "justification kept" "per-key effects commute"
+         s.Lint.s_justification
+   | l -> Alcotest.failf "expected 1 suppression, got %d" (List.length l))
+
+let test_suppression_binding_level_and_count () =
+  let r =
+    lint
+      "let[@tqec.allow \"list-nth: fixture lists have two elements\"] f l =\n\
+      \  List.nth l 0 + List.nth l 1"
+  in
+  Alcotest.(check (list string)) "no findings" [] (rules_of r);
+  Alcotest.(check int) "both violations counted as suppressed" 2
+    (List.length r.Lint.suppressed)
+
+let test_suppression_is_rule_scoped () =
+  let r =
+    lint
+      "let[@tqec.allow \"list-nth: wrong rule for this site\"] f () = exit 1"
+  in
+  (* The allow names list-nth, so the exit finding survives and the unused
+     allow is itself reported (column order: the attribute precedes exit). *)
+  Alcotest.(check (list string)) "exit survives, allow reported unused"
+    [ "unused-allow"; "exit" ] (rules_of r)
+
+let test_unused_allow () =
+  check_rules "unused allow flagged" [ "unused-allow" ]
+    "let[@tqec.allow \"list-nth: nothing here uses it\"] f x = x"
+
+let test_bad_allow () =
+  check_rules "missing justification separator" [ "bad-allow" ]
+    "let[@tqec.allow \"list-nth\"] f l = List.hd l";
+  check_rules "unknown rule name" [ "bad-allow" ]
+    "let[@tqec.allow \"no-such-rule: because\"] f x = x";
+  check_rules "empty justification" [ "bad-allow" ]
+    "let[@tqec.allow \"list-nth:   \"] f x = x";
+  check_rules "non-string payload" [ "bad-allow" ]
+    "let[@tqec.allow 42] f x = x"
+
+(* ------------------------------------------------------------------ *)
+(* Harness behaviour                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_error () =
+  check_rules "syntax error reported, not raised" [ "parse-error" ] "let = ("
+
+let test_locations () =
+  let r =
+    lint "let a = 1\n\nlet f l = List.nth l 2\n"
+  in
+  match r.Lint.findings with
+  | [ f ] ->
+      Alcotest.(check string) "file" "lib/fixture/snippet.ml" f.Lint.file;
+      Alcotest.(check int) "line" 3 f.Lint.line;
+      Alcotest.(check string) "rule" "list-nth" f.Lint.rule
+  | l -> Alcotest.failf "expected 1 finding, got %d" (List.length l)
+
+let test_merge_and_json () =
+  let r1 = lint ~file:"lib/a.ml" "let f l = List.nth l 0" in
+  let r2 =
+    lint ~file:"lib/b.ml"
+      "let f tbl = (Hashtbl.iter (fun _ _ -> ()) tbl)\n\
+      \  [@tqec.allow \"hashtbl-unsorted: commutative\"]"
+  in
+  let m = Lint.merge [ r1; r2 ] in
+  Alcotest.(check int) "files merged" 2 m.Lint.files_scanned;
+  let j = Lint.to_json m in
+  Alcotest.(check bool) "files in json" true
+    (Json.path [ "files" ] j = Some (Json.Int 2));
+  (match Json.path [ "findings" ] j with
+   | Some (Json.List [ Json.Obj _ ]) -> ()
+   | _ -> Alcotest.fail "expected exactly one finding object");
+  (match Json.path [ "by_rule"; "list-nth"; "findings" ] j with
+   | Some (Json.Int 1) -> ()
+   | _ -> Alcotest.fail "by_rule counter missing");
+  (match Json.path [ "by_rule"; "hashtbl-unsorted"; "suppressed" ] j with
+   | Some (Json.Int 1) -> ()
+   | _ -> Alcotest.fail "suppressed counter missing");
+  (match Json.of_string (Json.to_string ~pretty:true j) with
+   | Ok parsed ->
+       Alcotest.(check bool) "report json round-trips" true (Json.equal j parsed)
+   | Error msg -> Alcotest.fail msg);
+  let text = Lint.to_text m in
+  Alcotest.(check bool) "text has file:line:col prefix" true
+    (let prefix = "lib/a.ml:1:" in
+     String.length text >= String.length prefix
+     && String.equal (String.sub text 0 (String.length prefix)) prefix)
+
+let test_rule_registry () =
+  Alcotest.(check int) "seven real rules" 7 (List.length Lint.rules);
+  List.iter
+    (fun (name, doc) ->
+      Alcotest.(check bool) ("doc for " ^ name) true (String.length doc > 0))
+    Lint.rules
+
+let suites =
+  [ ( "lint",
+      [ Alcotest.test_case "hashtbl flagged" `Quick test_hashtbl_flagged;
+        Alcotest.test_case "hashtbl sorted allowance" `Quick
+          test_hashtbl_sorted_allowance;
+        Alcotest.test_case "poly compare" `Quick test_poly_compare;
+        Alcotest.test_case "float literal equality" `Quick test_float_lit_eq;
+        Alcotest.test_case "ambient effects" `Quick test_ambient_effect;
+        Alcotest.test_case "exit scope" `Quick test_exit_scope;
+        Alcotest.test_case "catch-all" `Quick test_catch_all;
+        Alcotest.test_case "list-nth" `Quick test_list_nth;
+        Alcotest.test_case "suppression: expression level" `Quick
+          test_suppression_expression_level;
+        Alcotest.test_case "suppression: binding level + count" `Quick
+          test_suppression_binding_level_and_count;
+        Alcotest.test_case "suppression: rule scoped" `Quick
+          test_suppression_is_rule_scoped;
+        Alcotest.test_case "unused allow" `Quick test_unused_allow;
+        Alcotest.test_case "bad allow" `Quick test_bad_allow;
+        Alcotest.test_case "parse error" `Quick test_parse_error;
+        Alcotest.test_case "locations" `Quick test_locations;
+        Alcotest.test_case "merge + json + text" `Quick test_merge_and_json;
+        Alcotest.test_case "rule registry" `Quick test_rule_registry ] ) ]

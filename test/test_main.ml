@@ -23,5 +23,6 @@ let () =
     @ Test_verify.suites
     @ Test_fuzz.suites
     @ Test_report.suites
+    @ Test_lint.suites
     @ Test_integration.suites
     @ Test_misc.suites)

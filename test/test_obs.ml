@@ -80,6 +80,46 @@ let test_gauges_and_dists () =
       Alcotest.(check (float 1e-9)) "max" 5.0 d.Trace.max_v
   | other -> Alcotest.fail (Printf.sprintf "expected one dist, got %d" (List.length other))
 
+(* Regression for the --metrics-json / bench counter-table contract: metric
+   key order is sorted by name, never hash-table insertion or bucket order,
+   so two runs recording the same metrics in different orders emit
+   byte-identical key sequences. *)
+let test_metric_key_order_stable () =
+  let run names =
+    let root = Trace.root "flow" in
+    List.iter (fun k -> Trace.incr ~n:(String.length k) root k) names;
+    List.iter (fun k -> Trace.gauge root (k ^ "_g") 1.0) names;
+    let child = Trace.span root "stage" in
+    List.iter (fun k -> Trace.incr child k) names;
+    Trace.close root;
+    root
+  in
+  let a = run [ "beta"; "alpha"; "gamma"; "delta" ] in
+  let b = run [ "delta"; "gamma"; "alpha"; "beta" ] in
+  Alcotest.(check (list (pair string int))) "counters sorted by key"
+    [ ("alpha", 5); ("beta", 4); ("delta", 5); ("gamma", 5) ]
+    (Trace.counters a);
+  Alcotest.(check (list (pair string int))) "counter order identical across runs"
+    (Trace.counters a) (Trace.counters b);
+  Alcotest.(check (list string)) "gauge order identical across runs"
+    (List.map fst (Trace.gauges a)) (List.map fst (Trace.gauges b));
+  Alcotest.(check (list (pair string int))) "flat counters identical across runs"
+    (Trace.flat_counters a) (Trace.flat_counters b);
+  (* The rendered JSON must agree key-for-key wherever keys appear; strip the
+     (run-dependent) durations by comparing the counters objects only. *)
+  let counters_json t =
+    match Json.path [ "counters" ] (Trace.to_json t) with
+    | Some j -> Json.to_string j
+    | None -> "missing"
+  in
+  Alcotest.(check string) "emitted counters json byte-identical"
+    (counters_json a) (counters_json b);
+  match (Json.path [ "counters" ] (Trace.to_json a)) with
+  | Some (Json.Obj fields) ->
+      Alcotest.(check (list string)) "json keys sorted"
+        [ "alpha"; "beta"; "delta"; "gamma" ] (List.map fst fields)
+  | _ -> Alcotest.fail "expected a counters object"
+
 let test_flat_counters () =
   let root = Trace.root "flow" in
   Trace.incr ~n:1 root "top";
@@ -293,6 +333,8 @@ let suites =
         Alcotest.test_case "with_span" `Quick test_with_span;
         Alcotest.test_case "counter accumulation" `Quick test_counter_accumulation;
         Alcotest.test_case "gauges and dists" `Quick test_gauges_and_dists;
+        Alcotest.test_case "metric key order stable" `Quick
+          test_metric_key_order_stable;
         Alcotest.test_case "flat counters" `Quick test_flat_counters;
         Alcotest.test_case "noop sink" `Quick test_noop_sink;
         Alcotest.test_case "noop is free" `Quick test_noop_is_free ] );
