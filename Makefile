@@ -9,21 +9,25 @@ test:
 	dune runtest
 
 # Full gate, staged: build -> tests (incl. a CLI smoke run that must produce
-# a parseable metrics file) -> determinism/hot-path lint -> fixed-seed
-# differential fuzzing -> perf/volume regression gate.
+# a parseable metrics file) -> the same tier-1 suite again under a multi-domain
+# pool (TQEC_DOMAINS=2; results must be identical by the Taskpool determinism
+# contract) -> determinism/hot-path lint -> fixed-seed differential fuzzing ->
+# perf/volume regression gate.
 check:
-	@echo "==== check [1/5] build ============================================"
+	@echo "==== check [1/6] build ============================================"
 	dune build
-	@echo "==== check [2/5] tests ============================================"
+	@echo "==== check [2/6] tests ============================================"
 	dune runtest
 	dune exec bin/tqec_compress.exe -- --benchmark 4gt10-v1_81 \
 	  --trace --metrics-json _build/metrics_smoke.json
 	dune exec bin/tqec_metrics_check.exe -- _build/metrics_smoke.json
-	@echo "==== check [3/5] lint ============================================="
+	@echo "==== check [3/6] tests (TQEC_DOMAINS=2) ==========================="
+	TQEC_DOMAINS=2 dune runtest --force
+	@echo "==== check [4/6] lint ============================================="
 	$(MAKE) lint
-	@echo "==== check [4/5] fuzz ============================================="
+	@echo "==== check [5/6] fuzz ============================================="
 	$(MAKE) fuzz
-	@echo "==== check [5/5] perf ============================================="
+	@echo "==== check [6/6] perf ============================================="
 	$(MAKE) perf
 	@echo "==== check: all stages passed ====================================="
 
@@ -43,14 +47,19 @@ fuzz: build
 bench:
 	dune exec bench/main.exe
 
-# Perf regression gate: rerun the fast benchmark subset in --json mode and
-# fail if any space-time volume drifts from the committed BENCH_pr3.json
+# Perf regression gate: rerun the fast benchmark subset in --json mode at
+# TQEC_DOMAINS=1 and TQEC_DOMAINS=4 and fail if any space-time volume drifts
+# from the committed BENCH_pr5.json — which also pins the two runs
+# bit-identical to each other, the parallel pipeline's determinism contract
 # (times and rates are machine-dependent, reported informationally).
 PERF_SUBSET = 4gt10-v1_81,4gt4-v0_73
 perf: build
-	TQEC_EFFORT=fast TQEC_BENCH_ONLY=$(PERF_SUBSET) \
-	  dune exec bench/main.exe -- --json > _build/bench_perf.json
-	dune exec bin/tqec_perf_check.exe -- BENCH_pr3.json _build/bench_perf.json
+	TQEC_EFFORT=fast TQEC_BENCH_ONLY=$(PERF_SUBSET) TQEC_DOMAINS=1 \
+	  dune exec bench/main.exe -- --json > _build/bench_perf_d1.json
+	TQEC_EFFORT=fast TQEC_BENCH_ONLY=$(PERF_SUBSET) TQEC_DOMAINS=4 \
+	  dune exec bench/main.exe -- --json > _build/bench_perf_d4.json
+	dune exec bin/tqec_perf_check.exe -- BENCH_pr5.json \
+	  _build/bench_perf_d1.json _build/bench_perf_d4.json
 
 clean:
 	dune clean

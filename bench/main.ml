@@ -574,9 +574,16 @@ let effort_name () =
 
 (* Volumes are deterministic (fixed seed) and act as the behavior-
    preservation contract checked by tqec_perf_check; rates and times vary
-   with the machine and are informational. *)
+   with the machine and are informational.
+
+   Schema v2 adds the parallel-execution telemetry: the top-level [domains]
+   (pool size the run used) and [pool_tasks_per_worker] (chunks each domain
+   slot executed — load-balance evidence, timing-dependent), and per
+   benchmark [sa_chains] plus [sa_moves_per_chain] (one entry per
+   multi-start chain; a single entry equal to [sa_moves] when chains=1). *)
 let json_mode () =
   let module Json = Tqec_obs.Json in
+  let module Pool = Tqec_prelude.Pool in
   let per_sec n t = if t > 0.0 then float_of_int n /. t else 0.0 in
   let benches =
     List.map
@@ -584,6 +591,13 @@ let json_mode () =
         let f = (flows_of prep).ours in
         let b = f.Flow.breakdown in
         let sa_moves = Flow.stage_counter f "placement" "sa_moves" in
+        let sa_chains = max 1 (Flow.stage_counter f "placement" "sa_chains") in
+        let moves_per_chain =
+          if sa_chains = 1 then [ sa_moves ]
+          else
+            List.init sa_chains (fun k ->
+                Flow.stage_counter f "placement" (Printf.sprintf "chain%d/sa_moves" k))
+        in
         let expansions = Flow.stage_counter f "routing" "astar_expansions" in
         Json.Obj
           [ ("name", Json.String prep.spec.Benchmarks.name);
@@ -592,18 +606,27 @@ let json_mode () =
             ("t_placement", Json.Float b.Flow.t_placement);
             ("t_routing", Json.Float b.Flow.t_routing);
             ("sa_moves", Json.Int sa_moves);
+            ("sa_chains", Json.Int sa_chains);
+            ("sa_moves_per_chain",
+             Json.List (List.map (fun m -> Json.Int m) moves_per_chain));
             ("sa_moves_per_sec", Json.Float (per_sec sa_moves b.Flow.t_placement));
             ("astar_expansions", Json.Int expansions);
             ("astar_expansions_per_sec",
              Json.Float (per_sec expansions b.Flow.t_routing)) ])
       (Lazy.force flow_preps)
   in
+  let pool = Pool.global () in
   print_endline
     (Json.to_string ~pretty:true
        (Json.Obj
-          [ ("schema_version", Json.Int 1);
+          [ ("schema_version", Json.Int 2);
             ("effort", Json.String (effort_name ()));
             ("seed", Json.Int seed);
+            ("domains", Json.Int (Pool.domains pool));
+            ("pool_tasks_per_worker",
+             Json.List
+               (Array.to_list
+                  (Array.map (fun n -> Json.Int n) (Pool.tasks_per_worker pool))));
             ("benchmarks", Json.List benches) ]))
 
 let () =

@@ -27,8 +27,12 @@ let load ~benchmark ~real_file ~seed =
   | Some _, Some _ -> Error "pass either --benchmark or --real, not both"
   | None, None -> Error "pass --benchmark NAME or --real FILE"
 
-let run benchmark real_file seed sa_iterations route_iterations tiers no_bridging
-    no_primal_groups no_friends baselines layout json trace metrics_file =
+let run benchmark real_file seed sa_iterations route_iterations tiers domains
+    chains no_bridging no_primal_groups no_friends baselines layout json trace
+    metrics_file =
+  (match domains with
+   | Some n -> Tqec_prelude.Pool.set_default_domains n
+   | None -> ());
   match load ~benchmark ~real_file ~seed with
   | Error msg ->
       prerr_endline ("tqec_compress: " ^ msg);
@@ -42,7 +46,10 @@ let run benchmark real_file seed sa_iterations route_iterations tiers no_bridgin
             primal_groups = not no_primal_groups;
             friend_aware = not no_friends;
             place =
-              { base.Tqec_core.Flow.place with Tqec_place.Place25d.tiers; seed } }
+              { base.Tqec_core.Flow.place with
+                Tqec_place.Place25d.tiers;
+                seed;
+                chains = max 1 chains } }
       in
       let flow = Tqec_core.Flow.run ~options circuit in
       let open Tqec_core.Flow in
@@ -135,6 +142,18 @@ let tiers =
   Arg.(value & opt (some int) None & info [ "tiers" ]
          ~doc:"Number of 2.5D tiers (default: heuristic).")
 
+let domains =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker domains for parallel placement chains and speculative
+               routing (default: \\$(b,TQEC_DOMAINS), else 1). Results are
+               bit-identical for every value.")
+
+let chains =
+  Arg.(value & opt int 1 & info [ "chains" ] ~docv:"K"
+         ~doc:"Independent multi-start SA placement chains (default 1, the
+               single historical chain); the lowest-cost chain wins
+               deterministically.")
+
 let no_bridging =
   Arg.(value & flag & info [ "no-bridging" ] ~doc:"Disable iterative bridging (Table V ablation).")
 
@@ -171,7 +190,7 @@ let cmd =
     (Cmd.info "tqec_compress" ~doc)
     Term.(
       const run $ benchmark $ real_file $ seed $ sa_iterations $ route_iterations
-      $ tiers $ no_bridging $ no_primal_groups $ no_friends $ baselines $ layout
-      $ json $ trace $ metrics_file)
+      $ tiers $ domains $ chains $ no_bridging $ no_primal_groups $ no_friends
+      $ baselines $ layout $ json $ trace $ metrics_file)
 
 let () = exit (Cmd.eval cmd)

@@ -1,9 +1,13 @@
-(* Compare a fresh `bench/main.exe --json` run against a committed baseline
-   (BENCH_pr3.json). Space-time volumes are deterministic for a fixed seed
+(* Compare fresh `bench/main.exe --json` runs against a committed baseline
+   (BENCH_pr5.json). Space-time volumes are deterministic for a fixed seed
    and must match exactly — a drift means the perf work changed behavior.
-   Times and rates are machine-dependent and reported informationally.
+   Several current files may be given (e.g. one run at TQEC_DOMAINS=1 and
+   one at TQEC_DOMAINS=4); each is held to the same exact-volume contract,
+   which also pins them bit-identical to each other — the determinism
+   guarantee of the parallel pipeline. Times and rates are machine-dependent
+   and reported informationally.
 
-     tqec_perf_check BASELINE.json CURRENT.json *)
+     tqec_perf_check BASELINE.json CURRENT.json [CURRENT2.json ...] *)
 
 module Json = Tqec_obs.Json
 
@@ -45,41 +49,50 @@ let float_field b key =
   | Some (Json.Int v) -> float_of_int v
   | Some _ | None -> 0.0
 
-let () =
-  let baseline_file, current_file =
-    match Sys.argv with
-    | [| _; baseline; current |] -> (baseline, current)
-    | _ -> fail "usage: tqec_perf_check BASELINE.json CURRENT.json"
+let check_current ~baseline_file ~baseline ~drifted current_file =
+  let json = read_json current_file in
+  let current = benchmarks current_file json in
+  let domains =
+    match Json.member "domains" json with Some (Json.Int d) -> d | _ -> 1
   in
-  let baseline = benchmarks baseline_file (read_json baseline_file) in
-  let current = benchmarks current_file (read_json current_file) in
-  let drifted = ref 0 in
   List.iter
     (fun (name, b) ->
       match List.assoc_opt name current with
-      | None -> fail "%s: benchmark %s missing from %s" current_file name current_file
+      | None -> fail "benchmark %s missing from %s" name current_file
       | Some c ->
           let vb = int_field baseline_file name b "volume" in
           let vc = int_field current_file name c "volume" in
           if vb <> vc then begin
             incr drifted;
             Printf.eprintf
-              "tqec_perf_check: VOLUME DRIFT on %s: baseline %d, current %d\n" name
-              vb vc
+              "tqec_perf_check: VOLUME DRIFT on %s (%s, domains=%d): baseline %d, \
+               current %d\n"
+              name current_file domains vb vc
           end;
           let rate key =
             let rb = float_field b key and rc = float_field c key in
             if rb > 0.0 then Printf.sprintf "%.2fx" (rc /. rb) else "n/a"
           in
           Printf.printf
-            "%-16s volume %d ok; sa_moves/s %.0f (%s vs baseline); a*_exp/s %.0f \
-             (%s vs baseline)\n"
-            name vc
+            "%-16s domains=%d volume %d ok; sa_moves/s %.0f (%s vs baseline); \
+             a*_exp/s %.0f (%s vs baseline)\n"
+            name domains vc
             (float_field c "sa_moves_per_sec")
             (rate "sa_moves_per_sec")
             (float_field c "astar_expansions_per_sec")
             (rate "astar_expansions_per_sec"))
-    baseline;
+    baseline
+
+let () =
+  let baseline_file, current_files =
+    match Array.to_list Sys.argv with
+    | _ :: baseline :: (_ :: _ as currents) -> (baseline, currents)
+    | _ -> fail "usage: tqec_perf_check BASELINE.json CURRENT.json [CURRENT2.json ...]"
+  in
+  let baseline = benchmarks baseline_file (read_json baseline_file) in
+  let drifted = ref 0 in
+  List.iter (check_current ~baseline_file ~baseline ~drifted) current_files;
   if !drifted > 0 then fail "%d benchmark volume(s) drifted from the baseline" !drifted;
-  Printf.printf "tqec_perf_check: %d benchmark volume(s) match %s\n"
+  Printf.printf "tqec_perf_check: %d benchmark volume(s) match %s across %d run(s)\n"
     (List.length baseline) baseline_file
+    (List.length current_files)

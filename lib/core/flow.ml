@@ -106,13 +106,14 @@ module Placement = struct
     config : Place25d.config;
     modular : Modular.t;
     nets : Bridge.net list;
+    pool : Tqec_prelude.Pool.t option;
   }
 
   type output = { cluster : Cluster.t; placement : Place25d.placement }
 
-  let run ~trace { primal_groups; max_group_size; config; modular; nets } =
+  let run ~trace { primal_groups; max_group_size; config; modular; nets; pool } =
     let cluster = Cluster.build ~primal_groups ~max_group_size modular in
-    let placement = Place25d.place ~trace config cluster nets in
+    let placement = Place25d.place ~trace ?pool config cluster nets in
     { cluster; placement }
 end
 
@@ -121,12 +122,13 @@ module Routing = struct
     config : Router.config;
     placement : Place25d.placement;
     nets : Bridge.net list;
+    pool : Tqec_prelude.Pool.t option;
   }
 
   type output = Router.result
 
-  let run ~trace { config; placement; nets } =
-    Router.route ~trace config placement nets
+  let run ~trace { config; placement; nets; pool } =
+    Router.route ~trace ?pool config placement nets
 end
 
 (* ------------------------------------------------------------------ *)
@@ -160,7 +162,7 @@ type t = {
 
 let stage_names = [ "preprocess"; "bridging"; "placement"; "routing" ]
 
-let run ?(options = default_options) ?trace circuit =
+let run ?(options = default_options) ?trace ?pool circuit =
   let root =
     match trace with
     | Some parent -> Trace.span parent "flow"
@@ -185,7 +187,8 @@ let run ?(options = default_options) ?trace circuit =
         max_group_size = options.max_group_size;
         config = options.place;
         modular = pre.Preprocess.modular;
-        nets = br.Bridging.nets }
+        nets = br.Bridging.nets;
+        pool }
   in
   let route_config =
     { options.route with Router.friend_aware = options.friend_aware && options.bridging }
@@ -194,7 +197,8 @@ let run ?(options = default_options) ?trace circuit =
     stage "routing" Routing.run
       { Routing.config = route_config;
         placement = pl.Placement.placement;
-        nets = br.Bridging.nets }
+        nets = br.Bridging.nets;
+        pool }
   in
   Trace.close root;
   let d, w, h = routing.Router.dims in

@@ -69,6 +69,8 @@ module Placement : sig
     config : Tqec_place.Place25d.config;
     modular : Tqec_modular.Modular.t;
     nets : Tqec_bridge.Bridge.net list;
+    pool : Tqec_prelude.Pool.t option;
+        (** domain pool for multi-start chains; [None] = global pool *)
   }
 
   type output = {
@@ -86,6 +88,8 @@ module Routing : sig
     config : Tqec_route.Router.config;
     placement : Tqec_place.Place25d.placement;
     nets : Tqec_bridge.Bridge.net list;
+    pool : Tqec_prelude.Pool.t option;
+        (** domain pool for speculative parallel passes; [None] = global pool *)
   }
 
   type output = Tqec_route.Router.result
@@ -124,13 +128,22 @@ val stage_names : string list
 (** [["preprocess"; "bridging"; "placement"; "routing"]] — the child spans of
     [trace], in pipeline order. *)
 
-val run : ?options:options -> ?trace:Tqec_obs.Trace.span -> Tqec_circuit.Circuit.t -> t
+val run :
+  ?options:options ->
+  ?trace:Tqec_obs.Trace.span ->
+  ?pool:Tqec_prelude.Pool.t ->
+  Tqec_circuit.Circuit.t ->
+  t
 (** Compress a circuit. The input may contain arbitrary supported gates;
     decomposition happens inside. Deterministic for fixed options. When
     [trace] is given, the flow span is created under it (pass
     {!Tqec_obs.Trace.noop} to disable instrumentation entirely — the
     breakdown then reads all-zero); otherwise the flow records under a
-    fresh live root so the breakdown is always available. *)
+    fresh live root so the breakdown is always available.
+
+    [pool] (default {!Tqec_prelude.Pool.global}, sized by [TQEC_DOMAINS])
+    feeds the parallel placement chains and the speculative routing passes;
+    the compressed result is bit-identical for every pool size. *)
 
 val num_nodes : t -> int
 (** #Nodes of Table I: top-level clusters in the 2.5D B*-tree. *)

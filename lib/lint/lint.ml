@@ -30,6 +30,7 @@ let rule_float_eq = "float-lit-eq"
 let rule_catch_all = "catch-all"
 let rule_nth = "list-nth"
 let rule_exit = "exit"
+let rule_domain = "domain-spawn"
 let pseudo_parse = "parse-error"
 let pseudo_bad_allow = "bad-allow"
 let pseudo_unused = "unused-allow"
@@ -56,7 +57,11 @@ let rules =
     ( rule_nth,
       "List.nth is O(n) per access (O(n^2) in loops); use an array, List.hd \
        or a single traversal" );
-    (rule_exit, "Stdlib.exit outside bin/ hides control flow from callers") ]
+    (rule_exit, "Stdlib.exit outside bin/ hides control flow from callers");
+    ( rule_domain,
+      "raw parallelism primitives (Domain.spawn/Domain.join/Mutex.create) \
+       outside lib/prelude: go through Taskpool so chunking, result order \
+       and exception propagation stay deterministic" ) ]
 
 let known_rule r = List.exists (fun (n, _) -> String.equal n r) rules
 
@@ -281,6 +286,14 @@ let check_ident st (loc : Location.t) name =
   then begin
     if not (in_prelude st.st_file) then
       emit st rule_ambient loc (name ^ " outside lib/prelude")
+  end
+  else if
+    String.equal name "Domain.spawn"
+    || String.equal name "Domain.join"
+    || String.equal name "Mutex.create"
+  then begin
+    if not (in_prelude st.st_file) then
+      emit st rule_domain loc (name ^ " outside lib/prelude; use Taskpool")
   end
 
 let check_operator st e op args =

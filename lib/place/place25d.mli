@@ -25,6 +25,12 @@ type config = {
   gamma : float;
   aspect_target : float;   (** target tier-plane aspect ratio, width over depth *)
   seed : int;
+  chains : int;            (** independent multi-start SA chains, default 1.
+                               [1] is exactly the historical single-chain
+                               anneal; [k > 1] seeds chain [i] from
+                               [Rng.stream ~root:seed i] and keeps the
+                               lowest-cost result (ties to the lowest chain
+                               index), identically for any domain count. *)
 }
 
 val default_config : config
@@ -43,6 +49,7 @@ type placement = {
 
 val place :
   ?trace:Tqec_obs.Trace.span ->
+  ?pool:Tqec_prelude.Pool.t ->
   config ->
   Cluster.t ->
   Tqec_bridge.Bridge.net list ->
@@ -50,7 +57,10 @@ val place :
 (** Anneal the 2.5D floorplan for the given clusters, estimating wirelength
     over [nets]. Deterministic for a fixed [config.seed]; [trace] records
     SA move counters and per-evaluation cost-component distributions without
-    affecting the result. *)
+    affecting the result. With [config.chains > 1] the chains run on [pool]
+    (default {!Tqec_prelude.Pool.global}); the returned placement — and with
+    chains = 1, every traced counter — is independent of the pool size.
+    [placement.sa_accepted]/[sa_improved] are the winning chain's counts. *)
 
 val sa_eval_bench :
   config -> Cluster.t -> Tqec_bridge.Bridge.net list -> unit -> unit

@@ -19,6 +19,16 @@ let split t =
   let s = int64 t in
   { state = s }
 
+(* Indexed streams for parallel tasks: mix the root into a state, then place
+   stream [i] a gamma-multiple away and mix again, so neighbouring indices
+   land on decorrelated SplitMix64 trajectories. Depends only on
+   [(root, i)], never on how many streams exist or who draws first. *)
+let stream ~root i =
+  let s =
+    Int64.add (mix (Int64.of_int root)) (Int64.mul golden_gamma (Int64.of_int i))
+  in
+  { state = mix s }
+
 let int t bound =
   assert (bound > 0);
   let v = Int64.to_int (int64 t) land max_int in

@@ -17,6 +17,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     decorrelated from [t]'s continuation. *)
 
+val stream : root:int -> int -> t
+(** [stream ~root i] is the [i]-th of a family of decorrelated generators
+    derived from [root] — a pure function of [(root, i)], so parallel tasks
+    indexed by [i] draw identical streams regardless of scheduling or domain
+    count. [stream ~root 0] differs from [create root] by design: the
+    sequential single-stream path keeps its historical seeds. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit value. *)
 

@@ -1,6 +1,7 @@
 module Point3 = Tqec_geom.Point3
 module Cuboid = Tqec_geom.Cuboid
 module Binheap = Tqec_prelude.Binheap
+module Pool = Tqec_prelude.Pool
 module Trace = Tqec_obs.Trace
 module Bridge = Tqec_bridge.Bridge
 module Modular = Tqec_modular.Modular
@@ -65,6 +66,24 @@ let make_workspace grid =
     stamp = Array.make n 0;
     parent = Array.make n (-1);
     history = Array.make n 0.0;
+    goal_mark = Array.make n 0;
+    start_mark = Array.make n 0;
+    heap = Binheap.create ();
+    generation = 0;
+    n_expansions = 0;
+    n_pushes = 0 }
+
+(* Per-domain speculative search scratch: shares [grid] and the [history]
+   array physically with the parent workspace (both are only written between
+   negotiation passes, never during one), owns every generation-stamped
+   array and the heap. *)
+let clone_workspace ws =
+  let n = Array.length ws.g_score in
+  { grid = ws.grid;
+    g_score = Array.make n 0;
+    stamp = Array.make n 0;
+    parent = Array.make n (-1);
+    history = ws.history;
     goal_mark = Array.make n 0;
     start_mark = Array.make n 0;
     heap = Binheap.create ();
@@ -335,23 +354,47 @@ let init_state config placement nets =
     in
     match Cuboid.intersect box grid_box with Some r -> r | None -> grid_box
   in
-  let attempt ~extra ~present_penalty n =
+  let attempt ~ws ~extra ~present_penalty n =
     let pa = pin_pos n.Bridge.pin_a and pb = pin_pos n.Bridge.pin_b in
     let region = region_of ~extra n in
     let starts = pa :: friend_cells st ~config ~region n.Bridge.pin_a in
     let goals = pb :: friend_cells st ~config ~region n.Bridge.pin_b in
     match
-      astar st.ws ~max_expansions:config.max_expansions ~present_penalty ~occ:st.occ
+      astar ws ~max_expansions:config.max_expansions ~present_penalty ~occ:st.occ
         ~region ~starts ~goals ~target:pb
     with
     | Some path -> Some { net = n; path }
     | None -> None
   in
-  (st, mouth_owner, pin_pos, attempt)
+  (st, mouth_owner, pin_pos, region_of, attempt)
 
-let route ?(trace = Trace.noop) config placement nets =
-  let st, mouth_owner, pin_pos, attempt = init_state config placement nets in
+(* Bounding box of one routed path — the footprint a commit dirties. *)
+let path_bbox = function
+  | [] -> invalid_arg "Router.path_bbox: empty path"
+  | p :: rest ->
+      List.fold_left
+        (fun b q -> Cuboid.union b (Cuboid.of_origin_size q ~w:1 ~h:1 ~d:1))
+        (Cuboid.of_origin_size p ~w:1 ~h:1 ~d:1)
+        rest
+
+let route ?(trace = Trace.noop) ?pool config placement nets =
+  let st, mouth_owner, pin_pos, region_of, attempt = init_state config placement nets in
   let ws = st.ws in
+  (* Speculative parallel routing only runs on a real multi-domain pool and
+     never nested inside another pool task (the fuzzer routes from worker
+     domains); otherwise the pass loop below is today's sequential path,
+     byte for byte. *)
+  let pool =
+    if Pool.in_worker () then None
+    else Some (match pool with Some p -> p | None -> Pool.global ())
+  in
+  let speculate = match pool with Some p -> Pool.domains p > 1 | None -> false in
+  let clones =
+    match pool with
+    | Some p when speculate -> Array.init (Pool.domains p) (fun _ -> clone_workspace ws)
+    | Some _ | None -> [||]
+  in
+  let respeculated = ref 0 in
   let modular = placement.Place25d.cluster.Tqec_place.Cluster.modular in
   let net_len n = Point3.manhattan (pin_pos n.Bridge.pin_a) (pin_pos n.Bridge.pin_b) in
   let sorted = List.stable_sort (fun a b -> Int.compare (net_len a) (net_len b)) nets in
@@ -438,22 +481,68 @@ let route ?(trace = Trace.noop) config placement nets =
     (* Present-sharing penalty doubles each pass (PathFinder schedule). *)
     let present_penalty = min 64.0 (2.0 ** float_of_int (!iter + 1)) in
     let unrouted = ref [] in
-    List.iter
-      (fun n ->
-        match attempt ~extra:(get_extra n) ~present_penalty n with
-        | Some rn ->
-            commit st rn;
-            Hashtbl.replace commit_seq n.Bridge.net_id !seq;
-            incr seq
-        | None ->
-            (* Geometric region growth: a failed search over a region is paid
-               in full, so take big steps toward the whole grid. *)
-            Hashtbl.replace extra n.Bridge.net_id
-              (max config.region_expand (2 * get_extra n));
-            if debug && !iter >= config.max_iterations - 1 then
-              Printf.eprintf "debug: net %d UNROUTED (extra %d)\n%!" n.Bridge.net_id (get_extra n);
-            unrouted := n :: !unrouted)
-      !pending;
+    let on_committed n rn =
+      commit st rn;
+      Hashtbl.replace commit_seq n.Bridge.net_id !seq;
+      incr seq
+    in
+    let on_failed n =
+      (* Geometric region growth: a failed search over a region is paid
+         in full, so take big steps toward the whole grid. *)
+      Hashtbl.replace extra n.Bridge.net_id
+        (max config.region_expand (2 * get_extra n));
+      if debug && !iter >= config.max_iterations - 1 then
+        Printf.eprintf "debug: net %d UNROUTED (extra %d)\n%!" n.Bridge.net_id (get_extra n);
+      unrouted := n :: !unrouted
+    in
+    (match pool with
+    | Some p when speculate ->
+        (* Speculative phase: every pending net is routed in parallel against
+           the pre-pass state — occupancy, history, and the committed friend
+           paths are all frozen until the sequential phase below mutates
+           them — each worker domain on its own cloned workspace. *)
+        let pass_nets = Array.of_list !pending in
+        let spec =
+          Pool.parallel_init_worker p (Array.length pass_nets)
+            (fun ~worker i ->
+              let n = pass_nets.(i) in
+              attempt ~ws:clones.(worker) ~extra:(get_extra n) ~present_penalty n)
+        in
+        (* Arbitration phase, sequential in the fixed pending order. A
+           speculative result is exact unless a net committed earlier this
+           pass touched the net's search region: an A* search is a pure
+           function of the costs inside its region plus its terminals, and a
+           commit only changes occupancy/friend terminals on its own path
+           cells. The bounding-box intersection test is conservative — a hit
+           merely re-runs the search against live state, so the final layout
+           equals the sequential schedule's for any domain count. *)
+        let dirty = ref [] in
+        Array.iteri
+          (fun i n ->
+            let clean =
+              let region = region_of ~extra:(get_extra n) n in
+              not (List.exists (fun b -> Cuboid.intersect b region <> None) !dirty)
+            in
+            let result =
+              if clean then spec.(i)
+              else begin
+                incr respeculated;
+                attempt ~ws ~extra:(get_extra n) ~present_penalty n
+              end
+            in
+            match result with
+            | Some rn ->
+                on_committed n rn;
+                dirty := path_bbox rn.path :: !dirty
+            | None -> on_failed n)
+          pass_nets
+    | Some _ | None ->
+        List.iter
+          (fun n ->
+            match attempt ~ws ~extra:(get_extra n) ~present_penalty n with
+            | Some rn -> on_committed n rn
+            | None -> on_failed n)
+          !pending);
     let ripped = ref [] in
     List.iter
       (fun id -> uncommit st id ~requeue:(fun net -> ripped := net :: !ripped))
@@ -529,9 +618,18 @@ let route ?(trace = Trace.noop) config placement nets =
         let bd, bw, bh = Cuboid.dims b in
         ((bd, bw, bh), bd * bw * bh)
   in
+  (* Clone totals are partition-invariant: each net's speculative search cost
+     depends only on the net and the pre-pass state, so the sum over clones
+     is the same for any domain count (though not equal to the sequential
+     path's totals — only volumes are contract, counters are telemetry). *)
+  let spec_expansions =
+    Array.fold_left (fun acc c -> acc + c.n_expansions) 0 clones
+  in
+  let spec_pushes = Array.fold_left (fun acc c -> acc + c.n_pushes) 0 clones in
   if Trace.enabled trace then begin
-    Trace.incr ~n:ws.n_expansions trace "astar_expansions";
-    Trace.incr ~n:ws.n_pushes trace "heap_pushes";
+    Trace.incr ~n:(ws.n_expansions + spec_expansions) trace "astar_expansions";
+    Trace.incr ~n:(ws.n_pushes + spec_pushes) trace "heap_pushes";
+    if speculate then Trace.incr ~n:!respeculated trace "nets_respeculated";
     Trace.incr ~n:!iterations_used trace "ripup_passes";
     Trace.incr ~n:!total_ripped trace "nets_ripped";
     Trace.incr ~n:(List.length stripped) trace "nets_stripped";
@@ -557,7 +655,9 @@ let astar_bench config placement nets =
   match nets with
   | [] -> invalid_arg "Router.astar_bench: no nets"
   | _ ->
-      let st, _mouth_owner, pin_pos, attempt = init_state config placement nets in
+      let st, _mouth_owner, pin_pos, _region_of, attempt =
+        init_state config placement nets
+      in
       let net_len n =
         Point3.manhattan (pin_pos n.Bridge.pin_a) (pin_pos n.Bridge.pin_b)
       in
@@ -567,7 +667,7 @@ let astar_bench config placement nets =
           (List.hd nets) nets
       in
       let expansions () = st.ws.n_expansions in
-      let search () = ignore (attempt ~extra:0 ~present_penalty:2.0 longest) in
+      let search () = ignore (attempt ~ws:st.ws ~extra:0 ~present_penalty:2.0 longest) in
       (search, expansions)
 
 module Pset = Set.Make (Point3)

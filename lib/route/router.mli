@@ -44,13 +44,24 @@ type result = {
 
 val route :
   ?trace:Tqec_obs.Trace.span ->
+  ?pool:Tqec_prelude.Pool.t ->
   config ->
   Tqec_place.Place25d.placement ->
   Tqec_bridge.Bridge.net list ->
   result
 (** [trace] (default noop) receives one child span per negotiation pass with
     attempted/routed/unrouted/ripped counters, plus A* expansion, heap-push
-    and rip-up totals on [trace] itself. Recording never affects routing. *)
+    and rip-up totals on [trace] itself. Recording never affects routing.
+
+    When [pool] (default {!Tqec_prelude.Pool.global}) has more than one
+    domain, each negotiation pass first routes every pending net in parallel
+    against the frozen pre-pass state on per-domain workspaces, then commits
+    sequentially in the fixed net order, re-running any net whose search
+    region intersects a path committed earlier in the same pass. The routed
+    layout — paths, volume, rip-up schedule — is bit-identical for every
+    domain count; only the telemetry counters ([astar_expansions],
+    [heap_pushes], [nets_respeculated]) reflect the speculative extra work.
+    With a 1-domain pool the sequential path runs unchanged. *)
 
 val astar_bench :
   config ->

@@ -162,7 +162,8 @@ let test_stages_independently_callable () =
         max_group_size = fast_options.Flow.max_group_size;
         config = fast_options.Flow.place;
         modular = pre.Flow.Preprocess.modular;
-        nets = br.Flow.Bridging.nets }
+        nets = br.Flow.Bridging.nets;
+        pool = None }
   in
   let routing =
     Flow.Routing.run ~trace:noop
@@ -171,7 +172,8 @@ let test_stages_independently_callable () =
             Tqec_route.Router.friend_aware =
               fast_options.Flow.friend_aware && fast_options.Flow.bridging };
         placement = pl.Flow.Placement.placement;
-        nets = br.Flow.Bridging.nets }
+        nets = br.Flow.Bridging.nets;
+        pool = None }
   in
   Alcotest.(check int) "same volume" composed.Flow.volume
     routing.Tqec_route.Router.volume;

@@ -89,6 +89,27 @@ let test_exit_scope () =
     "exit allowed under bin/" []
     (rules_of (lint ~file:"bin/main.ml" "let () = exit 1"))
 
+let test_domain_spawn () =
+  check_rules "Domain.spawn outside prelude" [ "domain-spawn" ]
+    "let f g = Domain.spawn g";
+  check_rules "Domain.join outside prelude" [ "domain-spawn" ]
+    "let f d = Domain.join d";
+  check_rules "Mutex.create outside prelude" [ "domain-spawn" ]
+    "let m = Mutex.create ()";
+  (* Taskpool's own implementation is the one sanctioned home. *)
+  Alcotest.(check (list string))
+    "waived under lib/prelude" []
+    (rules_of
+       (lint ~file:"lib/prelude/pool.ml"
+          "let f g = Domain.join (Domain.spawn g)\nlet m = Mutex.create ()"));
+  check_rules "suppressible with a justification" []
+    "let f g =\n\
+    \  (Domain.spawn g)\n\
+    \  [@tqec.allow \"domain-spawn: fixture exercising the escape hatch\"]";
+  (* Mutex locking against an existing mutex is fine anywhere — only the
+     creation of new synchronization roots is fenced in. *)
+  check_rules "Mutex.lock ok" [] "let f m = Mutex.lock m; Mutex.unlock m"
+
 (* ------------------------------------------------------------------ *)
 (* catch-all / list-nth                                                *)
 (* ------------------------------------------------------------------ *)
@@ -211,7 +232,7 @@ let test_merge_and_json () =
      && String.equal (String.sub text 0 (String.length prefix)) prefix)
 
 let test_rule_registry () =
-  Alcotest.(check int) "seven real rules" 7 (List.length Lint.rules);
+  Alcotest.(check int) "eight real rules" 8 (List.length Lint.rules);
   List.iter
     (fun (name, doc) ->
       Alcotest.(check bool) ("doc for " ^ name) true (String.length doc > 0))
@@ -226,6 +247,7 @@ let suites =
         Alcotest.test_case "float literal equality" `Quick test_float_lit_eq;
         Alcotest.test_case "ambient effects" `Quick test_ambient_effect;
         Alcotest.test_case "exit scope" `Quick test_exit_scope;
+        Alcotest.test_case "domain spawn" `Quick test_domain_spawn;
         Alcotest.test_case "catch-all" `Quick test_catch_all;
         Alcotest.test_case "list-nth" `Quick test_list_nth;
         Alcotest.test_case "suppression: expression level" `Quick

@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "tqec"
     (Test_prelude.suites
+    @ Test_pool.suites
     @ Test_obs.suites
     @ Test_geom.suites
     @ Test_rtree.suites
