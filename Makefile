@@ -1,4 +1,4 @@
-.PHONY: all build test check lint fuzz bench perf clean
+.PHONY: all build test check lint fuzz bench perf cache clean
 
 all: build
 
@@ -12,23 +12,25 @@ test:
 # a parseable metrics file) -> the same tier-1 suite again under a multi-domain
 # pool (TQEC_DOMAINS=2; results must be identical by the Taskpool determinism
 # contract) -> determinism/hot-path lint -> fixed-seed differential fuzzing ->
-# perf/volume regression gate.
+# perf/volume regression gate -> stage-cache contract (cold/warm/reroute).
 check:
-	@echo "==== check [1/6] build ============================================"
+	@echo "==== check [1/7] build ============================================"
 	dune build
-	@echo "==== check [2/6] tests ============================================"
+	@echo "==== check [2/7] tests ============================================"
 	dune runtest
 	dune exec bin/tqec_compress.exe -- --benchmark 4gt10-v1_81 \
 	  --trace --metrics-json _build/metrics_smoke.json
 	dune exec bin/tqec_metrics_check.exe -- _build/metrics_smoke.json
-	@echo "==== check [3/6] tests (TQEC_DOMAINS=2) ==========================="
+	@echo "==== check [3/7] tests (TQEC_DOMAINS=2) ==========================="
 	TQEC_DOMAINS=2 dune runtest --force
-	@echo "==== check [4/6] lint ============================================="
+	@echo "==== check [4/7] lint ============================================="
 	$(MAKE) lint
-	@echo "==== check [5/6] fuzz ============================================="
+	@echo "==== check [5/7] fuzz ============================================="
 	$(MAKE) fuzz
-	@echo "==== check [6/6] perf ============================================="
+	@echo "==== check [6/7] perf ============================================="
 	$(MAKE) perf
+	@echo "==== check [7/7] cache ============================================"
+	$(MAKE) cache
 	@echo "==== check: all stages passed ====================================="
 
 # Determinism & hot-path static analysis (lib/lint) over every .ml under
@@ -49,7 +51,7 @@ bench:
 
 # Perf regression gate: rerun the fast benchmark subset in --json mode at
 # TQEC_DOMAINS=1 and TQEC_DOMAINS=4 and fail if any space-time volume drifts
-# from the committed BENCH_pr5.json — which also pins the two runs
+# from the committed BENCH_pr6.json — which also pins the two runs
 # bit-identical to each other, the parallel pipeline's determinism contract
 # (times and rates are machine-dependent, reported informationally).
 PERF_SUBSET = 4gt10-v1_81,4gt4-v0_73
@@ -58,8 +60,19 @@ perf: build
 	  dune exec bench/main.exe -- --json > _build/bench_perf_d1.json
 	TQEC_EFFORT=fast TQEC_BENCH_ONLY=$(PERF_SUBSET) TQEC_DOMAINS=4 \
 	  dune exec bench/main.exe -- --json > _build/bench_perf_d4.json
-	dune exec bin/tqec_perf_check.exe -- BENCH_pr5.json \
+	dune exec bin/tqec_perf_check.exe -- BENCH_pr6.json \
 	  _build/bench_perf_d1.json _build/bench_perf_d4.json
+
+# Stage-cache contract gate: run the perf subset with a fresh on-disk cache
+# (cold + warm + routing-config-only reruns inside bench --json) and check
+# that warm runs hit all four stages with bit-identical volumes and that a
+# routing-only change reuses exactly the first three stage artifacts.
+cache: build
+	rm -rf _build/tqec_cache_check
+	TQEC_EFFORT=fast TQEC_BENCH_ONLY=$(PERF_SUBSET) \
+	  TQEC_CACHE_DIR=_build/tqec_cache_check \
+	  dune exec bench/main.exe -- --json > _build/bench_cache.json
+	dune exec bin/tqec_cache_check.exe -- _build/bench_cache.json
 
 clean:
 	dune clean

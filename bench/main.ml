@@ -580,11 +580,67 @@ let effort_name () =
    (pool size the run used) and [pool_tasks_per_worker] (chunks each domain
    slot executed — load-balance evidence, timing-dependent), and per
    benchmark [sa_chains] plus [sa_moves_per_chain] (one entry per
-   multi-start chain; a single entry equal to [sa_moves] when chains=1). *)
+   multi-start chain; a single entry equal to [sa_moves] when chains=1).
+
+   Schema v3 adds the stage-cache contract, exercised when TQEC_CACHE_DIR
+   is set: each benchmark runs cold (populating the cache), warm (expected
+   to hit all four stages) and once more with only the routing config
+   changed (expected to reuse the first three stage artifacts). The new
+   per-benchmark fields record both hit/miss counters and [volume_warm],
+   which must equal [volume] — the bit-identity contract tqec_cache_check
+   gates on. All cache fields are zero when TQEC_CACHE_DIR is unset. *)
+
+type cache_runs = {
+  cold_misses : int;
+  warm_hits : int;
+  warm_misses : int;
+  volume_warm : int;
+  t_warm_total : float;
+  reroute_hits : int;
+  reroute_misses : int;
+}
+
+let no_cache_runs =
+  { cold_misses = 0; warm_hits = 0; warm_misses = 0; volume_warm = 0;
+    t_warm_total = 0.0; reroute_hits = 0; reroute_misses = 0 }
+
+let cache_runs_of store prep =
+  let options = options_for prep in
+  Printf.eprintf "[bench] compressing %s (cold, caching)...\n%!"
+    prep.spec.Benchmarks.name;
+  let cold = Flow.run ~options ~cache:store prep.circuit in
+  let _, cold_misses, _ = Flow.cache_stats cold in
+  Printf.eprintf "[bench] compressing %s (warm)...\n%!" prep.spec.Benchmarks.name;
+  let warm = Flow.run ~options ~cache:store prep.circuit in
+  let warm_hits, warm_misses, _ = Flow.cache_stats warm in
+  Printf.eprintf "[bench] compressing %s (reroute only)...\n%!"
+    prep.spec.Benchmarks.name;
+  let reroute_options =
+    { options with
+      Flow.route =
+        { options.Flow.route with
+          Tqec_route.Router.region_margin =
+            options.Flow.route.Tqec_route.Router.region_margin + 1 } }
+  in
+  let reroute = Flow.run ~options:reroute_options ~cache:store prep.circuit in
+  let reroute_hits, reroute_misses, _ = Flow.cache_stats reroute in
+  { cold_misses;
+    warm_hits;
+    warm_misses;
+    volume_warm = warm.Flow.volume;
+    t_warm_total = warm.Flow.breakdown.Flow.t_total;
+    reroute_hits;
+    reroute_misses }
+
 let json_mode () =
   let module Json = Tqec_obs.Json in
   let module Pool = Tqec_prelude.Pool in
   let per_sec n t = if t > 0.0 then float_of_int n /. t else 0.0 in
+  let cache_store =
+    Option.map
+      (fun dir -> Tqec_artifact.Store.create ~dir ())
+      (Sys.getenv_opt "TQEC_CACHE_DIR")
+  in
   let benches =
     List.map
       (fun prep ->
@@ -599,6 +655,11 @@ let json_mode () =
                 Flow.stage_counter f "placement" (Printf.sprintf "chain%d/sa_moves" k))
         in
         let expansions = Flow.stage_counter f "routing" "astar_expansions" in
+        let c =
+          match cache_store with
+          | Some store -> cache_runs_of store prep
+          | None -> no_cache_runs
+        in
         Json.Obj
           [ ("name", Json.String prep.spec.Benchmarks.name);
             ("volume", Json.Int f.Flow.volume);
@@ -612,16 +673,24 @@ let json_mode () =
             ("sa_moves_per_sec", Json.Float (per_sec sa_moves b.Flow.t_placement));
             ("astar_expansions", Json.Int expansions);
             ("astar_expansions_per_sec",
-             Json.Float (per_sec expansions b.Flow.t_routing)) ])
+             Json.Float (per_sec expansions b.Flow.t_routing));
+            ("cold_cache_misses", Json.Int c.cold_misses);
+            ("cache_hits", Json.Int c.warm_hits);
+            ("cache_misses", Json.Int c.warm_misses);
+            ("volume_warm", Json.Int c.volume_warm);
+            ("t_warm_total", Json.Float c.t_warm_total);
+            ("reroute_cache_hits", Json.Int c.reroute_hits);
+            ("reroute_cache_misses", Json.Int c.reroute_misses) ])
       (Lazy.force flow_preps)
   in
   let pool = Pool.global () in
   print_endline
     (Json.to_string ~pretty:true
        (Json.Obj
-          [ ("schema_version", Json.Int 2);
+          [ ("schema_version", Json.Int 3);
             ("effort", Json.String (effort_name ()));
             ("seed", Json.Int seed);
+            ("cache", Json.Bool (Option.is_some cache_store));
             ("domains", Json.Int (Pool.domains pool));
             ("pool_tasks_per_worker",
              Json.List

@@ -1,0 +1,87 @@
+(* Gate the stage-cache contract from a `bench/main.exe --json` run made
+   with TQEC_CACHE_DIR set (schema v3):
+
+     - cold run misses and populates all four stages;
+     - warm run hits all four stages and recomputes nothing;
+     - warm volume is bit-identical to the cold volume;
+     - a routing-config-only change reuses the first three stage artifacts
+       (3 hits) and recomputes exactly the routing stage (1 miss).
+
+   Used by `make check`.
+
+     tqec_cache_check BENCH.json *)
+
+module Json = Tqec_obs.Json
+
+let stages = 4
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("tqec_cache_check: " ^ s);
+      exit 1)
+    fmt
+
+let int_field name b key =
+  match Json.member key b with
+  | Some (Json.Int v) -> v
+  | Some _ | None -> fail "benchmark %s lacks integer field %s" name key
+
+let check_benchmark failed b =
+  let name =
+    match Json.member "name" b with
+    | Some (Json.String n) -> n
+    | Some _ | None -> fail "benchmark entry without a name"
+  in
+  let expect key want =
+    let got = int_field name b key in
+    if got <> want then begin
+      incr failed;
+      Printf.eprintf "tqec_cache_check: %s: %s = %d, expected %d\n" name key got want
+    end
+  in
+  expect "cold_cache_misses" stages;
+  expect "cache_hits" stages;
+  expect "cache_misses" 0;
+  expect "volume_warm" (int_field name b "volume");
+  expect "reroute_cache_hits" (stages - 1);
+  expect "reroute_cache_misses" 1;
+  Printf.printf
+    "%-16s cold misses %d, warm hits %d, reroute hits/misses %d/%d, warm volume %d ok\n"
+    name
+    (int_field name b "cold_cache_misses")
+    (int_field name b "cache_hits")
+    (int_field name b "reroute_cache_hits")
+    (int_field name b "reroute_cache_misses")
+    (int_field name b "volume_warm")
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ -> fail "usage: tqec_cache_check FILE"
+  in
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error msg -> fail "%s" msg
+  in
+  let json =
+    match Json.of_string contents with
+    | Error msg -> fail "%s does not parse as JSON: %s" file msg
+    | Ok json -> json
+  in
+  (match Json.member "cache" json with
+   | Some (Json.Bool true) -> ()
+   | Some _ | None ->
+       fail "%s was not produced with TQEC_CACHE_DIR set (cache != true)" file);
+  let benches =
+    match Json.member "benchmarks" json with
+    | Some (Json.List bs) -> bs
+    | Some _ | None -> fail "%s has no \"benchmarks\" list" file
+  in
+  if benches = [] then fail "%s has an empty benchmark list" file;
+  let failed = ref 0 in
+  List.iter (check_benchmark failed) benches;
+  if !failed > 0 then fail "%d cache-contract violation(s)" !failed;
+  Printf.printf "tqec_cache_check: %s ok (%d benchmark(s), %d stages each)\n" file
+    (List.length benches) stages

@@ -29,7 +29,7 @@ let load ~benchmark ~real_file ~seed =
 
 let run benchmark real_file seed sa_iterations route_iterations tiers domains
     chains no_bridging no_primal_groups no_friends baselines layout json trace
-    metrics_file =
+    metrics_file cache_dir =
   (match domains with
    | Some n -> Tqec_prelude.Pool.set_default_domains n
    | None -> ());
@@ -51,7 +51,8 @@ let run benchmark real_file seed sa_iterations route_iterations tiers domains
                 seed;
                 chains = max 1 chains } }
       in
-      let flow = Tqec_core.Flow.run ~options circuit in
+      let cache = Option.map (fun dir -> Tqec_artifact.Store.create ~dir ()) cache_dir in
+      let flow = Tqec_core.Flow.run ~options ?cache circuit in
       let open Tqec_core.Flow in
       let s = flow.stats in
       Printf.printf "circuit %s: %d qubits, %d gates -> %d wires, %d CNOTs, %d |Y>, %d |A>\n"
@@ -74,6 +75,11 @@ let run benchmark real_file seed sa_iterations route_iterations tiers domains
         "runtime: preprocess %.2fs, bridging %.2fs, placement %.2fs, routing %.2fs\n"
         flow.breakdown.t_preprocess flow.breakdown.t_bridging flow.breakdown.t_placement
         flow.breakdown.t_routing;
+      (match cache with
+       | Some _ ->
+           let hits, misses, stores = cache_stats flow in
+           Printf.printf "cache: %d hits, %d misses, %d stored\n" hits misses stores
+       | None -> ());
       let valid =
         match validate flow with
         | Ok () ->
@@ -184,6 +190,13 @@ let metrics_file =
          ~doc:"Write machine-readable per-stage metrics (durations, counters,
                full trace) as JSON.")
 
+let cache_dir =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persistent stage-artifact cache directory. Stages whose
+               content hash (input + configuration + code version) matches a
+               stored artifact are loaded instead of recomputed; results are
+               bit-identical either way.")
+
 let cmd =
   let doc = "bridge-based compression of topological quantum circuits" in
   Cmd.v
@@ -191,6 +204,6 @@ let cmd =
     Term.(
       const run $ benchmark $ real_file $ seed $ sa_iterations $ route_iterations
       $ tiers $ domains $ chains $ no_bridging $ no_primal_groups $ no_friends
-      $ baselines $ layout $ json $ trace $ metrics_file)
+      $ baselines $ layout $ json $ trace $ metrics_file $ cache_dir)
 
 let () = exit (Cmd.eval cmd)

@@ -5,10 +5,16 @@
 
 module Json = Tqec_obs.Json
 
+let schema_version = 2
+
 let required_paths =
   [ [ "schema_version" ];
     [ "circuit" ];
     [ "volume" ];
+    [ "cache"; "hits" ];
+    [ "cache"; "misses" ];
+    [ "cache"; "stores" ];
+    [ "cache"; "hit_rate" ];
     [ "stage_durations_s"; "preprocess" ];
     [ "stage_durations_s"; "bridging" ];
     [ "stage_durations_s"; "placement" ];
@@ -34,11 +40,17 @@ let () =
   match Json.of_string contents with
   | Error msg -> fail "%s does not parse as JSON: %s" file msg
   | Ok json ->
+      (match Json.path [ "schema_version" ] json with
+       | Some (Json.Int v) when v = schema_version -> ()
+       | Some (Json.Int v) ->
+           fail "%s has schema_version %d, expected %d" file v schema_version
+       | Some _ -> fail "%s schema_version is not an integer" file
+       | None -> fail "%s is missing schema_version" file);
       List.iter
         (fun p ->
           match Json.path p json with
           | Some _ -> ()
           | None -> fail "%s is missing required field %s" file (String.concat "." p))
         required_paths;
-      Printf.printf "tqec_metrics_check: %s ok (%d required fields present)\n" file
-        (List.length required_paths)
+      Printf.printf "tqec_metrics_check: %s ok (schema v%d, %d required fields present)\n"
+        file schema_version (List.length required_paths)

@@ -1,0 +1,120 @@
+module Json = Tqec_obs.Json
+module Point3 = Tqec_geom.Point3
+module Cuboid = Tqec_geom.Cuboid
+
+exception Decode of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Decode s)) fmt
+
+let show j =
+  let s = Json.to_string j in
+  if String.length s > 72 then String.sub s 0 72 ^ "..." else s
+
+let to_result decode json =
+  match decode json with
+  | v -> Ok v
+  | exception Decode msg -> Error msg
+  | exception Invalid_argument msg -> Error ("invalid artifact value: " ^ msg)
+  | exception Failure msg -> Error ("invalid artifact value: " ^ msg)
+
+(* ------------------------- decoders ------------------------------- *)
+
+let int = function Json.Int i -> i | j -> err "expected int, got %s" (show j)
+
+let bool = function Json.Bool b -> b | j -> err "expected bool, got %s" (show j)
+
+let float_ = function
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | j -> err "expected number, got %s" (show j)
+
+let string_ = function
+  | Json.String s -> s
+  | j -> err "expected string, got %s" (show j)
+
+let list f = function
+  | Json.List l -> List.map f l
+  | j -> err "expected list, got %s" (show j)
+
+let array f = function
+  | Json.List l -> Array.of_list (List.map f l)
+  | j -> err "expected list, got %s" (show j)
+
+let opt f = function Json.Null -> None | j -> Some (f j)
+
+let field name = function
+  | Json.Obj kvs as j -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> err "missing field %S in %s" name (show j))
+  | j -> err "expected object with field %S, got %s" name (show j)
+
+let int_list = list int
+
+let int_array = array int
+
+let point3 = function
+  | Json.List [ Json.Int x; Json.Int y; Json.Int z ] -> Point3.make x y z
+  | j -> err "expected [x; y; z] point, got %s" (show j)
+
+let point3_array = array point3
+
+let triple = function
+  | Json.List [ Json.Int a; Json.Int b; Json.Int c ] -> (a, b, c)
+  | j -> err "expected [a; b; c] triple, got %s" (show j)
+
+let cuboid = function
+  | Json.List
+      [ Json.Int lx; Json.Int ly; Json.Int lz; Json.Int hx; Json.Int hy;
+        Json.Int hz ] ->
+      Cuboid.make (Point3.make lx ly lz) (Point3.make hx hy hz)
+  | j -> err "expected 6-int cuboid, got %s" (show j)
+
+let path j =
+  let rec build = function
+    | [] -> []
+    | Json.Int x :: Json.Int y :: Json.Int z :: rest ->
+        Point3.make x y z :: build rest
+    | _ -> err "path coordinate count not a multiple of 3 in %s" (show j)
+  in
+  match j with
+  | Json.List l -> build l
+  | _ -> err "expected flat coordinate list, got %s" (show j)
+
+let bool_array j =
+  let s = string_ j in
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '1' -> true
+      | '0' -> false
+      | c -> err "expected '0'/'1' in bool array, got %C" c)
+
+(* ------------------------- encoders ------------------------------- *)
+
+let of_int_list l = Json.List (List.map (fun i -> Json.Int i) l)
+
+let of_int_array a =
+  Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let of_point3 (p : Point3.t) =
+  Json.List [ Json.Int p.Point3.x; Json.Int p.Point3.y; Json.Int p.Point3.z ]
+
+let of_point3_array a = Json.List (Array.to_list (Array.map of_point3 a))
+
+let of_triple (a, b, c) = Json.List [ Json.Int a; Json.Int b; Json.Int c ]
+
+let of_cuboid (c : Cuboid.t) =
+  let lo = c.Cuboid.lo and hi = c.Cuboid.hi in
+  Json.List
+    [ Json.Int lo.Point3.x; Json.Int lo.Point3.y; Json.Int lo.Point3.z;
+      Json.Int hi.Point3.x; Json.Int hi.Point3.y; Json.Int hi.Point3.z ]
+
+let of_path pts =
+  Json.List
+    (List.concat_map
+       (fun (p : Point3.t) ->
+         [ Json.Int p.Point3.x; Json.Int p.Point3.y; Json.Int p.Point3.z ])
+       pts)
+
+let of_bool_array a =
+  Json.String (String.init (Array.length a) (fun i -> if a.(i) then '1' else '0'))

@@ -1,0 +1,61 @@
+(** JSON (de)serialization helpers for artifact codecs.
+
+    Encoders build {!Tqec_obs.Json.t} values whose rendered bytes are
+    {e canonical}: object fields are emitted in a fixed order and floats use
+    the shortest round-tripping representation, so
+    [Json.to_string (encode a)] is a stable content-hash input for equal
+    artifacts. Decoders raise {!Decode} with a descriptive message on any
+    shape mismatch — the cache driver treats that as a corrupted entry and
+    falls back to recomputing the stage. *)
+
+exception Decode of string
+
+val err : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Decode} with a formatted message. *)
+
+val to_result : (Tqec_obs.Json.t -> 'a) -> Tqec_obs.Json.t -> ('a, string) result
+(** Run a decoder, catching {!Decode} (and [Invalid_argument] / [Failure]
+    raised by constructor validation on corrupt payloads). *)
+
+(* ------------------------- decoders ------------------------------- *)
+
+val int : Tqec_obs.Json.t -> int
+val bool : Tqec_obs.Json.t -> bool
+val float_ : Tqec_obs.Json.t -> float
+(** Accepts [Int] too. *)
+
+val string_ : Tqec_obs.Json.t -> string
+val list : (Tqec_obs.Json.t -> 'a) -> Tqec_obs.Json.t -> 'a list
+val array : (Tqec_obs.Json.t -> 'a) -> Tqec_obs.Json.t -> 'a array
+val opt : (Tqec_obs.Json.t -> 'a) -> Tqec_obs.Json.t -> 'a option
+(** [Null] decodes to [None]. *)
+
+val field : string -> Tqec_obs.Json.t -> Tqec_obs.Json.t
+(** Object member lookup; missing field or non-object raises {!Decode}. *)
+
+val int_list : Tqec_obs.Json.t -> int list
+val int_array : Tqec_obs.Json.t -> int array
+val point3 : Tqec_obs.Json.t -> Tqec_geom.Point3.t
+val point3_array : Tqec_obs.Json.t -> Tqec_geom.Point3.t array
+val triple : Tqec_obs.Json.t -> int * int * int
+val cuboid : Tqec_obs.Json.t -> Tqec_geom.Cuboid.t
+val path : Tqec_obs.Json.t -> Tqec_geom.Point3.t list
+(** Decodes the flat [[x0;y0;z0;x1;...]] encoding of {!of_path}. *)
+
+val bool_array : Tqec_obs.Json.t -> bool array
+(** Decodes the ['0']/['1'] string encoding of {!of_bool_array}. *)
+
+(* ------------------------- encoders ------------------------------- *)
+
+val of_int_list : int list -> Tqec_obs.Json.t
+val of_int_array : int array -> Tqec_obs.Json.t
+val of_point3 : Tqec_geom.Point3.t -> Tqec_obs.Json.t
+val of_point3_array : Tqec_geom.Point3.t array -> Tqec_obs.Json.t
+val of_triple : int * int * int -> Tqec_obs.Json.t
+val of_cuboid : Tqec_geom.Cuboid.t -> Tqec_obs.Json.t
+val of_path : Tqec_geom.Point3.t list -> Tqec_obs.Json.t
+(** Flat coordinate list — three ints per point — to keep long routed paths
+    compact on disk. *)
+
+val of_bool_array : bool array -> Tqec_obs.Json.t
+(** A string of ['0']/['1'] characters, one per element. *)

@@ -1,0 +1,78 @@
+(** Canonical codecs for the pipeline's stage artifacts.
+
+    Every encoder emits a {!Tqec_obs.Json.t} with fixed field order, so the
+    rendered bytes are a canonical form suitable both for the on-disk stage
+    cache and for content hashing ({!Tqec_prelude.Hash}). Every decoder is a
+    strict inverse on values the encoder produced —
+    [decode (encode a)] is structurally equal to [a] — and raises
+    {!Codec.Decode} on anything else.
+
+    Structures that embed another artifact take it as a decode context
+    instead of re-serializing it: e.g. a bridging result references the
+    {!Tqec_modular.Modular.t} it was computed from, which the cache driver
+    already holds as the stage's input. This keeps stored entries small and
+    reproduces the physical sharing a cold run would have. *)
+
+val of_gate : Tqec_circuit.Gate.t -> Tqec_obs.Json.t
+val gate : Tqec_obs.Json.t -> Tqec_circuit.Gate.t
+
+val of_circuit : Tqec_circuit.Circuit.t -> Tqec_obs.Json.t
+val circuit : Tqec_obs.Json.t -> Tqec_circuit.Circuit.t
+(** Decoding revalidates through {!Tqec_circuit.Circuit.make}. *)
+
+val of_icm : Tqec_icm.Icm.t -> Tqec_obs.Json.t
+val icm : Tqec_obs.Json.t -> Tqec_icm.Icm.t
+
+val of_stats : Tqec_icm.Stats.t -> Tqec_obs.Json.t
+val stats : Tqec_obs.Json.t -> Tqec_icm.Stats.t
+
+val of_canonical : Tqec_canonical.Canonical.t -> Tqec_obs.Json.t
+val canonical :
+  icm:Tqec_icm.Icm.t -> Tqec_obs.Json.t -> Tqec_canonical.Canonical.t
+
+val of_modular : Tqec_modular.Modular.t -> Tqec_obs.Json.t
+(** The modularization skeleton only; the embedded ICM is {e not} included
+    (pair with {!of_icm} when hashing). *)
+
+val modular :
+  icm:Tqec_icm.Icm.t -> Tqec_obs.Json.t -> Tqec_modular.Modular.t
+
+val of_net : Tqec_bridge.Bridge.net -> Tqec_obs.Json.t
+val net : Tqec_obs.Json.t -> Tqec_bridge.Bridge.net
+
+val of_nets : Tqec_bridge.Bridge.net list -> Tqec_obs.Json.t
+val nets : Tqec_obs.Json.t -> Tqec_bridge.Bridge.net list
+
+val of_bridge_result : Tqec_bridge.Bridge.result -> Tqec_obs.Json.t
+(** Skeleton only, without the embedded modularization. *)
+
+val bridge_result :
+  modular:Tqec_modular.Modular.t ->
+  Tqec_obs.Json.t ->
+  Tqec_bridge.Bridge.result
+
+val of_cluster : Tqec_place.Cluster.t -> Tqec_obs.Json.t
+(** Skeleton only, without the embedded modularization. Cluster dimensions
+    are encoded as stored, so a post-placement (TSL-equalized) cluster
+    round-trips to its equalized state. *)
+
+val cluster :
+  modular:Tqec_modular.Modular.t -> Tqec_obs.Json.t -> Tqec_place.Cluster.t
+
+val of_placement : Tqec_place.Place25d.placement -> Tqec_obs.Json.t
+(** Skeleton only, without the embedded cluster. *)
+
+val placement :
+  cluster:Tqec_place.Cluster.t ->
+  Tqec_obs.Json.t ->
+  Tqec_place.Place25d.placement
+
+val of_routing : Tqec_route.Router.result -> Tqec_obs.Json.t
+val routing : Tqec_obs.Json.t -> Tqec_route.Router.result
+
+(* Config encoders, used only to fold stage configuration into cache keys
+   (no decoders needed: configs are never stored). *)
+
+val of_sa_params : Tqec_place.Sa.params -> Tqec_obs.Json.t
+val of_place_config : Tqec_place.Place25d.config -> Tqec_obs.Json.t
+val of_route_config : Tqec_route.Router.config -> Tqec_obs.Json.t

@@ -1,0 +1,18 @@
+module type S = sig
+  type input
+  type output
+
+  val name : string
+  val version : string
+  val key : input -> string
+  val run : trace:Tqec_obs.Trace.span -> input -> output
+  val encode : output -> Tqec_obs.Json.t
+  val decode : input -> Tqec_obs.Json.t -> output
+end
+
+type ('i, 'o) stage = (module S with type input = 'i and type output = 'o)
+
+let cache_key (type i o) (stage : (i, o) stage) (input : i) =
+  let module St = (val stage) in
+  Tqec_prelude.Hash.sha256_hex
+    (St.name ^ "\x00" ^ St.version ^ "\x00" ^ St.key input)

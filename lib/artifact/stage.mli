@@ -1,0 +1,44 @@
+(** Uniform signature for pipeline stages, making each stage a cacheable
+    function from a typed input to a typed artifact.
+
+    A stage declares a [name] (also its trace-span name and on-disk cache
+    subdirectory), a [version] tag bumped whenever the stage's algorithm
+    changes meaning, a canonical [key] over its input {e and configuration}
+    (execution resources such as task pools are excluded — they never affect
+    results), and a codec for its output artifact. The cache driver hashes
+    [name], [version] and [key input] together ({!cache_key}) so any change
+    to input, config or code invalidates exactly the stages downstream of
+    it. *)
+
+module type S = sig
+  type input
+  type output
+
+  val name : string
+  (** Stage name; must match the stage's trace-span name. *)
+
+  val version : string
+  (** Code-version tag folded into {!cache_key}. Bump when the stage's
+      output for a fixed input may change. *)
+
+  val key : input -> string
+  (** Canonical bytes identifying the input, including stage configuration
+      and excluding execution resources (pools, traces). *)
+
+  val run : trace:Tqec_obs.Trace.span -> input -> output
+
+  val encode : output -> Tqec_obs.Json.t
+  (** Canonical encoding of the artifact (stable bytes via
+      [Json.to_string]). *)
+
+  val decode : input -> Tqec_obs.Json.t -> output
+  (** Rebuild the artifact from its encoding. The input is available as
+      decode context so shared substructures (e.g. the ICM embedded in a
+      modularization) are taken from it rather than re-stored. Raises
+      {!Codec.Decode} on shape mismatch. *)
+end
+
+type ('i, 'o) stage = (module S with type input = 'i and type output = 'o)
+
+val cache_key : ('i, 'o) stage -> 'i -> string
+(** SHA-256 (hex) over [name], [version] and [key input], NUL-separated. *)

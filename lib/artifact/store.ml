@@ -1,0 +1,75 @@
+module Json = Tqec_obs.Json
+
+type t = {
+  mem : (string, Json.t) Hashtbl.t;
+  dir : string option;
+}
+
+let slot ~stage ~key = stage ^ "/" ^ key
+
+let create ?dir () = { mem = Hashtbl.create 64; dir }
+
+let dir t = t.dir
+
+let entries t = Hashtbl.length t.mem
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ -> if not (Sys.file_exists path) then raise Not_found
+  end
+
+let entry_path dir ~stage ~key = Filename.concat (Filename.concat dir stage) (key ^ ".json")
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+  | exception Sys_error _ -> None
+
+let find t ~stage ~key =
+  match Hashtbl.find_opt t.mem (slot ~stage ~key) with
+  | Some _ as hit -> hit
+  | None -> (
+      match t.dir with
+      | None -> None
+      | Some dir -> (
+          match read_file (entry_path dir ~stage ~key) with
+          | None -> None
+          | Some bytes -> (
+              match Json.of_string bytes with
+              | Ok json ->
+                  Hashtbl.replace t.mem (slot ~stage ~key) json;
+                  Some json
+              | Error _ -> None)))
+
+let write_atomic dir ~stage ~key bytes =
+  let stage_dir = Filename.concat dir stage in
+  mkdir_p stage_dir;
+  let final = entry_path dir ~stage ~key in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc bytes;
+  close_out oc;
+  Sys.rename tmp final
+
+let store t ~stage ~key json =
+  Hashtbl.replace t.mem (slot ~stage ~key) json;
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      try write_atomic dir ~stage ~key (Json.to_string json)
+      with Sys_error _ | Not_found -> ())
+
+let remove t ~stage ~key =
+  Hashtbl.remove t.mem (slot ~stage ~key);
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      let path = entry_path dir ~stage ~key in
+      try Sys.remove path with Sys_error _ -> ())

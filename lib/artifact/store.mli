@@ -1,0 +1,36 @@
+(** Content-addressed artifact store: an in-memory table with an optional
+    on-disk mirror.
+
+    Entries are keyed by [(stage, key)] where [key] is a content hash over
+    the stage's canonical input bytes, configuration and code-version tag
+    (see {!Stage.cache_key}). The on-disk layout is
+    [dir/<stage>/<key>.json], one canonical-JSON artifact per file, written
+    atomically (temp file + rename) so a crashed writer never leaves a
+    half-entry behind.
+
+    Reads are forgiving: an unreadable or unparseable entry behaves as a
+    miss — the cache driver recomputes the stage and overwrites it. This is
+    the only module in [lib/] allowed to write to the filesystem (enforced
+    by the [fs-write] lint rule). *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** [create ()] is a process-local in-memory store. [create ~dir ()] also
+    mirrors entries under [dir] (created on demand, along with per-stage
+    subdirectories), so a later process — or a later {!create} on the same
+    directory — starts warm. *)
+
+val dir : t -> string option
+
+val find : t -> stage:string -> key:string -> Tqec_obs.Json.t option
+(** Memory first, then disk; a disk hit is promoted into memory. Unreadable
+    or unparseable disk entries yield [None]. *)
+
+val store : t -> stage:string -> key:string -> Tqec_obs.Json.t -> unit
+
+val remove : t -> stage:string -> key:string -> unit
+(** Drop an entry from memory and disk (used to evict corrupted entries). *)
+
+val entries : t -> int
+(** Number of in-memory entries. *)

@@ -10,6 +10,10 @@ module Bridge = Tqec_bridge.Bridge
 module Cluster = Tqec_place.Cluster
 module Place25d = Tqec_place.Place25d
 module Router = Tqec_route.Router
+module Codec = Tqec_artifact.Codec
+module Codecs = Tqec_artifact.Codecs
+module Stage = Tqec_artifact.Stage
+module Store = Tqec_artifact.Store
 
 type options = {
   bridging : bool;
@@ -44,11 +48,14 @@ let scale_options ?sa_iterations ?route_iterations options =
   { options with place; route }
 
 (* ------------------------------------------------------------------ *)
-(* The four pipeline stages (paper Fig. 2). Each stage is independently
-   callable: it consumes a typed input, records onto the span it is
-   given, and returns a typed artifact that later stages (or callers
-   wanting to checkpoint / skip / parallelize) can hold on to.          *)
+(* The four pipeline stages (paper Fig. 2), each implementing the
+   uniform Tqec_artifact.Stage.S signature: a typed input/output, a
+   canonical cache key over input + configuration (never execution
+   resources), a code-version tag, and a codec for the output artifact.
+   Each stage is independently callable.                                *)
 (* ------------------------------------------------------------------ *)
+
+let canon json = Json.to_string json
 
 module Preprocess = struct
   type input = Circuit.t
@@ -60,6 +67,12 @@ module Preprocess = struct
     canonical : Canonical.t;
     modular : Modular.t;
   }
+
+  let name = "preprocess"
+
+  let version = "1"
+
+  let key circuit = canon (Codecs.of_circuit circuit)
 
   let run ~trace circuit =
     let decomposed = Decompose.circuit circuit in
@@ -79,12 +92,39 @@ module Preprocess = struct
       Trace.incr ~n:(Array.length modular.Modular.pins) trace "pins"
     end;
     { decomposed; icm; stats; canonical; modular }
+
+  let encode { decomposed; icm; stats; canonical; modular } =
+    Json.Obj
+      [ ("decomposed", Codecs.of_circuit decomposed);
+        ("icm", Codecs.of_icm icm);
+        ("stats", Codecs.of_stats stats);
+        ("canonical", Codecs.of_canonical canonical);
+        ("modular", Codecs.of_modular modular) ]
+
+  let decode (_ : input) json =
+    let icm = Codecs.icm (Codec.field "icm" json) in
+    { decomposed = Codecs.circuit (Codec.field "decomposed" json);
+      icm;
+      stats = Codecs.stats (Codec.field "stats" json);
+      canonical = Codecs.canonical ~icm (Codec.field "canonical" json);
+      modular = Codecs.modular ~icm (Codec.field "modular" json) }
 end
 
 module Bridging = struct
   type input = { bridging : bool; modular : Modular.t }
 
   type output = { bridge : Bridge.result option; nets : Bridge.net list }
+
+  let name = "bridging"
+
+  let version = "1"
+
+  let key { bridging; modular } =
+    canon
+      (Json.Obj
+         [ ("bridging", Json.Bool bridging);
+           ("icm", Codecs.of_icm modular.Modular.icm);
+           ("modular", Codecs.of_modular modular) ])
 
   let run ~trace { bridging; modular } =
     if bridging then begin
@@ -97,6 +137,20 @@ module Bridging = struct
         Trace.incr ~n:(List.length nets) trace "nets_generated";
       { bridge = None; nets }
     end
+
+  let encode { bridge; nets } =
+    Json.Obj
+      [ ( "bridge",
+          match bridge with
+          | None -> Json.Null
+          | Some r -> Codecs.of_bridge_result r );
+        ("nets", Codecs.of_nets nets) ]
+
+  let decode { modular; _ } json =
+    let bridge =
+      Codec.opt (Codecs.bridge_result ~modular) (Codec.field "bridge" json)
+    in
+    { bridge; nets = Codecs.nets (Codec.field "nets" json) }
 end
 
 module Placement = struct
@@ -111,10 +165,36 @@ module Placement = struct
 
   type output = { cluster : Cluster.t; placement : Place25d.placement }
 
+  let name = "placement"
+
+  let version = "1"
+
+  let key { primal_groups; max_group_size; config; modular; nets; pool = _ } =
+    canon
+      (Json.Obj
+         [ ("primal_groups", Json.Bool primal_groups);
+           ("max_group_size", Json.Int max_group_size);
+           ("config", Codecs.of_place_config config);
+           ("icm", Codecs.of_icm modular.Modular.icm);
+           ("modular", Codecs.of_modular modular);
+           ("nets", Codecs.of_nets nets) ])
+
   let run ~trace { primal_groups; max_group_size; config; modular; nets; pool } =
     let cluster = Cluster.build ~primal_groups ~max_group_size modular in
     let placement = Place25d.place ~trace ?pool config cluster nets in
     { cluster; placement }
+
+  let encode { cluster; placement } =
+    Json.Obj
+      [ ("cluster", Codecs.of_cluster cluster);
+        ("placement", Codecs.of_placement placement) ]
+
+  let decode { modular; _ } json =
+    (* Share the one decoded cluster between [cluster] and
+       [placement.cluster], matching the physical sharing of a cold run. *)
+    let cluster = Codecs.cluster ~modular (Codec.field "cluster" json) in
+    { cluster;
+      placement = Codecs.placement ~cluster (Codec.field "placement" json) }
 end
 
 module Routing = struct
@@ -127,12 +207,32 @@ module Routing = struct
 
   type output = Router.result
 
+  let name = "routing"
+
+  let version = "1"
+
+  let key { config; placement; nets; pool = _ } =
+    let cluster = placement.Place25d.cluster in
+    let modular = cluster.Cluster.modular in
+    canon
+      (Json.Obj
+         [ ("config", Codecs.of_route_config config);
+           ("icm", Codecs.of_icm modular.Modular.icm);
+           ("modular", Codecs.of_modular modular);
+           ("cluster", Codecs.of_cluster cluster);
+           ("placement", Codecs.of_placement placement);
+           ("nets", Codecs.of_nets nets) ])
+
   let run ~trace { config; placement; nets; pool } =
     Router.route ~trace ?pool config placement nets
+
+  let encode result = Codecs.of_routing result
+
+  let decode (_ : input) json = Codecs.routing json
 end
 
 (* ------------------------------------------------------------------ *)
-(* End-to-end composition                                              *)
+(* End-to-end composition: a generic cache-aware stage driver           *)
 (* ------------------------------------------------------------------ *)
 
 type breakdown = {
@@ -162,27 +262,56 @@ type t = {
 
 let stage_names = [ "preprocess"; "bridging"; "placement"; "routing" ]
 
-let run ?(options = default_options) ?trace ?pool circuit =
+(* Run one stage under its own child span, consulting the cache first.
+   A hit decodes the stored artifact (bit-identical to recomputing it, by
+   the codecs' round-trip law); a corrupt entry is evicted and recomputed.
+   Counters record onto the stage's span so metrics/tests can observe the
+   cache behaviour per stage. *)
+let run_stage (type i o) ((module St : Stage.S with type input = i and type output = o) as stage)
+    ~cache root (input : i) : o * float =
+  let span = Trace.span root St.name in
+  let compute ~store_result key =
+    let out = St.run ~trace:span input in
+    (match (store_result, key) with
+    | true, Some (store, key) ->
+        Store.store store ~stage:St.name ~key (St.encode out);
+        Trace.incr span "cache_miss";
+        Trace.incr span "cache_store"
+    | _ -> ());
+    out
+  in
+  let out =
+    match cache with
+    | None -> compute ~store_result:false None
+    | Some store -> (
+        let key = Stage.cache_key stage input in
+        match Store.find store ~stage:St.name ~key with
+        | None -> compute ~store_result:true (Some (store, key))
+        | Some json -> (
+            match St.decode input json with
+            | decoded ->
+                Trace.incr span "cache_hit";
+                decoded
+            | exception (Codec.Decode _ | Invalid_argument _ | Failure _) ->
+                Store.remove store ~stage:St.name ~key;
+                compute ~store_result:true (Some (store, key))))
+  in
+  Trace.close span;
+  (out, Trace.duration_s span)
+
+let run ?(options = default_options) ?trace ?pool ?cache circuit =
   let root =
     match trace with
     | Some parent -> Trace.span parent "flow"
     | None -> Trace.root "flow"
   in
-  (* Each stage runs under its own child span; the breakdown is read back
-     from those spans instead of hand-rolled stopwatches. *)
-  let stage name f input =
-    let span = Trace.span root name in
-    let out = f ~trace:span input in
-    Trace.close span;
-    (out, Trace.duration_s span)
-  in
-  let pre, t_preprocess = stage "preprocess" Preprocess.run circuit in
+  let pre, t_preprocess = run_stage (module Preprocess) ~cache root circuit in
   let br, t_bridging =
-    stage "bridging" Bridging.run
+    run_stage (module Bridging) ~cache root
       { Bridging.bridging = options.bridging; modular = pre.Preprocess.modular }
   in
   let pl, t_placement =
-    stage "placement" Placement.run
+    run_stage (module Placement) ~cache root
       { Placement.primal_groups = options.primal_groups;
         max_group_size = options.max_group_size;
         config = options.place;
@@ -194,7 +323,7 @@ let run ?(options = default_options) ?trace ?pool circuit =
     { options.route with Router.friend_aware = options.friend_aware && options.bridging }
   in
   let routing, t_routing =
-    stage "routing" Routing.run
+    run_stage (module Routing) ~cache root
       { Routing.config = route_config;
         placement = pl.Placement.placement;
         nets = br.Bridging.nets;
@@ -232,10 +361,23 @@ let stage_span t name = Trace.find t.trace [ name ]
 let stage_counter t stage name =
   match stage_span t stage with Some s -> Trace.counter s name | None -> 0
 
+let cache_stats t =
+  List.fold_left
+    (fun (hits, misses, stores) stage ->
+      ( hits + stage_counter t stage "cache_hit",
+        misses + stage_counter t stage "cache_miss",
+        stores + stage_counter t stage "cache_store" ))
+    (0, 0, 0) stage_names
+
 let metrics_json t =
   let w, h, d = t.dims in
+  let hits, misses, stores = cache_stats t in
+  let hit_rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
   Json.Obj
-    [ ("schema_version", Json.Int 1);
+    [ ("schema_version", Json.Int 2);
       ("circuit", Json.String t.name);
       ("volume", Json.Int t.volume);
       ("dims", Json.Obj [ ("w", Json.Int w); ("h", Json.Int h); ("d", Json.Int d) ]);
@@ -243,6 +385,12 @@ let metrics_json t =
       ("nodes", Json.Int (num_nodes t));
       ("routed", Json.Int (List.length t.routing.Router.routed));
       ("unrouted", Json.Int (List.length t.routing.Router.failed));
+      ( "cache",
+        Json.Obj
+          [ ("hits", Json.Int hits);
+            ("misses", Json.Int misses);
+            ("stores", Json.Int stores);
+            ("hit_rate", Json.Float hit_rate) ] );
       ( "stage_durations_s",
         Json.Obj
           (List.map
@@ -262,17 +410,15 @@ let metrics_json t =
       ("trace", Trace.to_json t.trace) ]
 
 let validate t =
-  match Place25d.check_no_overlap t.placement with
-  | Error _ as e -> e
-  | Ok () ->
-      (match Place25d.check_time_ordering t.placement with
-       | Error _ as e -> e
-       | Ok () ->
-           (match Router.validate t.placement t.routing with
-            | Error _ as e -> e
-            | Ok () ->
-                if t.routing.Router.failed = [] then Ok ()
-                else
-                  Error
-                    (Printf.sprintf "%d nets remain unrouted"
-                       (List.length t.routing.Router.failed))))
+  let ( let* ) = Result.bind in
+  let at stage result =
+    Result.map_error (fun e -> stage ^ ": " ^ e) result
+  in
+  let* () = at "placement" (Place25d.check_no_overlap t.placement) in
+  let* () = at "placement" (Place25d.check_time_ordering t.placement) in
+  let* () = at "routing" (Router.validate t.placement t.routing) in
+  match t.routing.Router.failed with
+  | [] -> Ok ()
+  | failed ->
+      at "routing"
+        (Error (Printf.sprintf "%d nets remain unrouted" (List.length failed)))

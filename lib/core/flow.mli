@@ -4,9 +4,12 @@
     Preprocess (gate decomposition → ICM → canonical description →
     modularization) → iterative bridging → module clustering +
     time-ordering-aware 2.5D placement → dual-defect net routing. Each stage
-    is its own module with a typed [input]/[output] and a
-    [run : trace:span -> input -> output] entry point, so callers can run
-    the stages independently, checkpoint intermediate artifacts, or swap a
+    is its own module implementing the uniform {!Tqec_artifact.Stage.S}
+    signature — a typed [input]/[output], a
+    [run : trace:span -> input -> output] entry point, a canonical content
+    key over input and configuration, and a codec for its output artifact —
+    so callers can run the stages independently, checkpoint intermediate
+    artifacts, cache them content-addressed ({!run}'s [cache]), or swap a
     stage out; {!run} is the canonical composition. Ablation switches
     reproduce the paper's comparison points: [bridging:false] is the Table V
     baseline, [primal_groups:false] is the conference version [36] of
@@ -46,7 +49,8 @@ module Preprocess : sig
     modular : Tqec_modular.Modular.t;
   }
 
-  val run : trace:Tqec_obs.Trace.span -> input -> output
+  include
+    Tqec_artifact.Stage.S with type input := input and type output := output
 end
 
 (** Stage 2: iterative bridging (or naive per-loop nets when disabled). *)
@@ -58,7 +62,8 @@ module Bridging : sig
     nets : Tqec_bridge.Bridge.net list;
   }
 
-  val run : trace:Tqec_obs.Trace.span -> input -> output
+  include
+    Tqec_artifact.Stage.S with type input := input and type output := output
 end
 
 (** Stage 3: module clustering and 2.5D simulated-annealing placement. *)
@@ -78,7 +83,8 @@ module Placement : sig
     placement : Tqec_place.Place25d.placement;
   }
 
-  val run : trace:Tqec_obs.Trace.span -> input -> output
+  include
+    Tqec_artifact.Stage.S with type input := input and type output := output
 end
 
 (** Stage 4: negotiation-based dual-defect net routing. The caller resolves
@@ -94,7 +100,8 @@ module Routing : sig
 
   type output = Tqec_route.Router.result
 
-  val run : trace:Tqec_obs.Trace.span -> input -> output
+  include
+    Tqec_artifact.Stage.S with type input := input and type output := output
 end
 
 type breakdown = {
@@ -132,6 +139,7 @@ val run :
   ?options:options ->
   ?trace:Tqec_obs.Trace.span ->
   ?pool:Tqec_prelude.Pool.t ->
+  ?cache:Tqec_artifact.Store.t ->
   Tqec_circuit.Circuit.t ->
   t
 (** Compress a circuit. The input may contain arbitrary supported gates;
@@ -143,7 +151,15 @@ val run :
 
     [pool] (default {!Tqec_prelude.Pool.global}, sized by [TQEC_DOMAINS])
     feeds the parallel placement chains and the speculative routing passes;
-    the compressed result is bit-identical for every pool size. *)
+    the compressed result is bit-identical for every pool size.
+
+    [cache] consults the artifact store before each stage: on a hit the
+    stored artifact is decoded instead of recomputed (bit-identical by the
+    codec round-trip law — a warm run produces exactly the cold run's
+    volumes and routings), on a miss the stage runs and its artifact is
+    stored. A corrupt entry is evicted and recomputed. Per-stage
+    [cache_hit] / [cache_miss] / [cache_store] counters are recorded on the
+    stage spans; see {!cache_stats}. *)
 
 val num_nodes : t -> int
 (** #Nodes of Table I: top-level clusters in the 2.5D B*-tree. *)
@@ -156,11 +172,17 @@ val stage_span : t -> string -> Tqec_obs.Trace.span option
 val stage_counter : t -> string -> string -> int
 (** [stage_counter t stage counter]; 0 when absent. *)
 
+val cache_stats : t -> int * int * int
+(** [(hits, misses, stores)] summed over the four stage spans. All zero when
+    the flow ran without a cache (or with a noop trace). *)
+
 val metrics_json : t -> Tqec_obs.Json.t
-(** Machine-readable metrics (the [--metrics-json] payload): schema_version,
-    circuit, volume, dims, net/node counts, routed/unrouted, per-stage
-    durations, flattened counters, and the full span tree. *)
+(** Machine-readable metrics (the [--metrics-json] payload, schema
+    version 2): schema_version, circuit, volume, dims, net/node counts,
+    routed/unrouted, the [cache] block (hits/misses/stores/hit_rate),
+    per-stage durations, flattened counters, and the full span tree. *)
 
 val validate : t -> (unit, string) Stdlib.result
 (** End-to-end invariants: placement overlap-free and time-ordered, routing
-    valid, every net routed. *)
+    valid, every net routed. Errors are prefixed with the name of the
+    failing validator stage ([placement: ...] / [routing: ...]). *)

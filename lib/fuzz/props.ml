@@ -164,12 +164,96 @@ let incremental_cost ~max_qubits ~max_gates =
         | Ok () -> true
         | Error _ -> false )
 
+(* --- content-addressed artifact graph (PR6 cache work) --- *)
+
+module Json = Tqec_obs.Json
+module Codecs = Tqec_artifact.Codecs
+module Stage = Tqec_artifact.Stage
+module Store = Tqec_artifact.Store
+
+(* [encode] then [decode] then [encode] again must reproduce the exact
+   canonical bytes (and hence the same content hash), and the cache key must
+   be a pure function of the input. Checked per stage on the real artifacts
+   of a full pipeline run. *)
+let stage_roundtrips (type i o)
+    ((module St : Stage.S with type input = i and type output = o) as stage)
+    (input : i) (out : o) =
+  let bytes = Json.to_string (St.encode out) in
+  let rebytes = Json.to_string (St.encode (St.decode input (St.encode out))) in
+  String.equal bytes rebytes
+  && Int64.equal
+       (Tqec_prelude.Hash.fnv1a64 bytes)
+       (Tqec_prelude.Hash.fnv1a64 rebytes)
+  && String.equal (Stage.cache_key stage input) (Stage.cache_key stage input)
+
+let artifact_roundtrip ~max_qubits ~max_gates =
+  Prop
+    ( "artifact-roundtrip",
+      salted_arbitrary ~max_qubits ~max_gates,
+      fun (c, salt) ->
+        let options = options_with_seed salt in
+        let trace = Tqec_obs.Trace.noop in
+        let pre = Flow.Preprocess.run ~trace c in
+        let br_input =
+          { Flow.Bridging.bridging = options.Flow.bridging;
+            modular = pre.Flow.Preprocess.modular }
+        in
+        let br = Flow.Bridging.run ~trace br_input in
+        let pl_input =
+          { Flow.Placement.primal_groups = options.Flow.primal_groups;
+            max_group_size = options.Flow.max_group_size;
+            config = options.Flow.place;
+            modular = pre.Flow.Preprocess.modular;
+            nets = br.Flow.Bridging.nets;
+            pool = None }
+        in
+        let pl = Flow.Placement.run ~trace pl_input in
+        let rt_input =
+          { Flow.Routing.config =
+              { options.Flow.route with
+                Tqec_route.Router.friend_aware =
+                  options.Flow.friend_aware && options.Flow.bridging };
+            placement = pl.Flow.Placement.placement;
+            nets = br.Flow.Bridging.nets;
+            pool = None }
+        in
+        let rt = Flow.Routing.run ~trace rt_input in
+        stage_roundtrips (module Flow.Preprocess) c pre
+        && stage_roundtrips (module Flow.Bridging) br_input br
+        && stage_roundtrips (module Flow.Placement) pl_input pl
+        && stage_roundtrips (module Flow.Routing) rt_input rt )
+
+(* A warm run answered entirely from the cache must be bit-identical to the
+   cold run that populated it, with the expected hit/miss counters. Artifact
+   equality is checked on canonical bytes — the same representation the
+   on-disk cache stores. *)
+let cache_warm_identity ~max_qubits ~max_gates =
+  Prop
+    ( "cache-warm-bit-identity",
+      salted_arbitrary ~max_qubits ~max_gates,
+      fun (c, salt) ->
+        let options = options_with_seed salt in
+        let store = Store.create () in
+        let cold = Flow.run ~options ~cache:store c in
+        let warm = Flow.run ~options ~cache:store c in
+        let same_bytes encode a b =
+          String.equal (Json.to_string (encode a)) (Json.to_string (encode b))
+        in
+        cold.Flow.volume = warm.Flow.volume
+        && cold.Flow.dims = warm.Flow.dims
+        && same_bytes Codecs.of_placement cold.Flow.placement warm.Flow.placement
+        && same_bytes Codecs.of_routing cold.Flow.routing warm.Flow.routing
+        && Flow.cache_stats cold = (0, 4, 4)
+        && Flow.cache_stats warm = (4, 0, 0) )
+
 let all ~max_qubits ~max_gates =
   [ semantics ~max_qubits ~max_gates;
     volume ~max_qubits ~max_gates;
     oracle ~max_qubits ~max_gates;
     pack_cache;
-    incremental_cost ~max_qubits ~max_gates ]
+    incremental_cost ~max_qubits ~max_gates;
+    artifact_roundtrip ~max_qubits ~max_gates;
+    cache_warm_identity ~max_qubits ~max_gates ]
 
 let run_prop ?count ?seed (Prop (n, arb, f)) =
   Property.run ?count ?seed ~name:n arb f

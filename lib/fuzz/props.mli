@@ -56,8 +56,20 @@ val incremental_cost : max_qubits:int -> max_gates:int -> prop
     + delta wirelength) agrees with a from-scratch re-evaluation at every
     step (1e-9 relative). *)
 
+val artifact_roundtrip : max_qubits:int -> max_gates:int -> prop
+(** [artifact-roundtrip]: for every pipeline stage on a real run,
+    [encode (decode input (encode out))] reproduces the exact canonical
+    bytes (and FNV-64 content hash), and {!Tqec_artifact.Stage.cache_key}
+    is stable. *)
+
+val cache_warm_identity : max_qubits:int -> max_gates:int -> prop
+(** [cache-warm-bit-identity]: a cold cached run followed by a warm run from
+    the same store yields bit-identical placement and routing artifacts
+    (canonical-bytes equality), with counters (0 hits, 4 misses) then
+    (4 hits, 0 misses). *)
+
 val all : max_qubits:int -> max_gates:int -> prop list
-(** The five properties, in the order above. *)
+(** The seven properties, in the order above. *)
 
 val run_prop :
   ?count:int -> ?seed:int -> prop -> Tqec_proptest.Property.outcome

@@ -31,6 +31,7 @@ let rule_catch_all = "catch-all"
 let rule_nth = "list-nth"
 let rule_exit = "exit"
 let rule_domain = "domain-spawn"
+let rule_fs_write = "fs-write"
 let pseudo_parse = "parse-error"
 let pseudo_bad_allow = "bad-allow"
 let pseudo_unused = "unused-allow"
@@ -61,7 +62,12 @@ let rules =
     ( rule_domain,
       "raw parallelism primitives (Domain.spawn/Domain.join/Mutex.create) \
        outside lib/prelude: go through Taskpool so chunking, result order \
-       and exception propagation stay deterministic" ) ]
+       and exception propagation stay deterministic" );
+    ( rule_fs_write,
+      "filesystem writes (open_out*, Out_channel.open_*, Sys.rename/remove/\
+       mkdir, Unix file mutation) in lib/ outside the artifact store: route \
+       persistent state through Tqec_artifact.Store so cache entries stay \
+       atomic and auditable" ) ]
 
 let known_rule r = List.exists (fun (n, _) -> String.equal n r) rules
 
@@ -109,6 +115,21 @@ let in_bin file =
   let f = normalize_path file in
   starts_with ~prefix:"bin/" f
   || List.exists (String.equal "bin") (String.split_on_char '/' f)
+
+(* The one lib/ module allowed to write to the filesystem: the artifact
+   store (rule fs-write). bin/ and bench/ executables are also exempt —
+   CLI output files are their business. *)
+let in_store file =
+  let f = normalize_path file in
+  String.equal f "lib/artifact/store.ml"
+  || (match List.rev (String.split_on_char '/' f) with
+      | base :: dir :: _ -> String.equal dir "artifact" && String.equal base "store.ml"
+      | _ -> false)
+
+let in_bench file =
+  let f = normalize_path file in
+  starts_with ~prefix:"bench/" f
+  || List.exists (String.equal "bench") (String.split_on_char '/' f)
 
 (* ------------------------------------------------------------------ *)
 (* Expression shape helpers                                            *)
@@ -259,8 +280,22 @@ let pop_allows st n =
 (* Rule checks                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let fs_write_fns =
+  [ "open_out"; "open_out_bin"; "open_out_gen";
+    "Out_channel.open_text"; "Out_channel.open_bin"; "Out_channel.open_gen";
+    "Out_channel.with_open_text"; "Out_channel.with_open_bin";
+    "Out_channel.with_open_gen";
+    "Sys.rename"; "Sys.remove"; "Sys.mkdir"; "Sys.rmdir";
+    "Unix.mkdir"; "Unix.rename"; "Unix.unlink"; "Unix.rmdir"; "Unix.openfile" ]
+
 let check_ident st (loc : Location.t) name =
-  if String.equal name "compare" then
+  if List.exists (String.equal name) fs_write_fns then begin
+    if not (in_bin st.st_file || in_bench st.st_file || in_store st.st_file)
+    then
+      emit st rule_fs_write loc
+        (name ^ " outside lib/artifact/store.ml; persist through the artifact store")
+  end
+  else if String.equal name "compare" then
     emit st rule_poly loc
       "polymorphic compare; use Int.compare/String.compare/a typed comparator"
   else if String.equal name "Hashtbl.hash" || String.equal name "Hashtbl.seeded_hash"

@@ -1,0 +1,154 @@
+(* FIPS 180-4 SHA-256 and 64-bit FNV-1a, in plain OCaml.
+
+   The implementation favors clarity over throughput: cache keys hash
+   canonical JSON encodings of pipeline artifacts, whose sizes are tiny next
+   to the stage computations they stand in for. All arithmetic is on int32 /
+   int64 so results are identical on every word size. *)
+
+module Sha256 = struct
+  let k =
+    [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+       0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+       0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+       0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+       0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+       0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+       0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+       0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+       0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+       0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+       0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+       0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+       0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+  type t = {
+    h : int32 array;       (* running digest, 8 words *)
+    block : Bytes.t;       (* 64-byte input block being filled *)
+    mutable used : int;    (* bytes of [block] in use *)
+    mutable length : int;  (* total bytes absorbed *)
+    w : int32 array;       (* 64-word message schedule scratch *)
+  }
+
+  let create () =
+    { h =
+        [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+           0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+      block = Bytes.create 64;
+      used = 0;
+      length = 0;
+      w = Array.make 64 0l }
+
+  let copy t =
+    { h = Array.copy t.h;
+      block = Bytes.copy t.block;
+      used = t.used;
+      length = t.length;
+      w = Array.make 64 0l }
+
+  let rotr x n =
+    Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+  let process t =
+    let w = t.w in
+    for i = 0 to 15 do
+      w.(i) <- Bytes.get_int32_be t.block (i * 4)
+    done;
+    for i = 16 to 63 do
+      let x = w.(i - 15) and y = w.(i - 2) in
+      let s0 =
+        Int32.logxor (Int32.logxor (rotr x 7) (rotr x 18))
+          (Int32.shift_right_logical x 3)
+      and s1 =
+        Int32.logxor (Int32.logxor (rotr y 17) (rotr y 19))
+          (Int32.shift_right_logical y 10)
+      in
+      w.(i) <- Int32.add (Int32.add w.(i - 16) s0) (Int32.add w.(i - 7) s1)
+    done;
+    let a = ref t.h.(0) and b = ref t.h.(1) and c = ref t.h.(2)
+    and d = ref t.h.(3) and e = ref t.h.(4) and f = ref t.h.(5)
+    and g = ref t.h.(6) and h = ref t.h.(7) in
+    for i = 0 to 63 do
+      let s1 =
+        Int32.logxor (Int32.logxor (rotr !e 6) (rotr !e 11)) (rotr !e 25)
+      in
+      let ch =
+        Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g)
+      in
+      let t1 =
+        Int32.add (Int32.add (Int32.add !h s1) (Int32.add ch k.(i))) w.(i)
+      in
+      let s0 =
+        Int32.logxor (Int32.logxor (rotr !a 2) (rotr !a 13)) (rotr !a 22)
+      in
+      let maj =
+        Int32.logxor
+          (Int32.logxor (Int32.logand !a !b) (Int32.logand !a !c))
+          (Int32.logand !b !c)
+      in
+      let t2 = Int32.add s0 maj in
+      h := !g;
+      g := !f;
+      f := !e;
+      e := Int32.add !d t1;
+      d := !c;
+      c := !b;
+      b := !a;
+      a := Int32.add t1 t2
+    done;
+    t.h.(0) <- Int32.add t.h.(0) !a;
+    t.h.(1) <- Int32.add t.h.(1) !b;
+    t.h.(2) <- Int32.add t.h.(2) !c;
+    t.h.(3) <- Int32.add t.h.(3) !d;
+    t.h.(4) <- Int32.add t.h.(4) !e;
+    t.h.(5) <- Int32.add t.h.(5) !f;
+    t.h.(6) <- Int32.add t.h.(6) !g;
+    t.h.(7) <- Int32.add t.h.(7) !h
+
+  let add_string t s =
+    let len = String.length s in
+    let pos = ref 0 in
+    t.length <- t.length + len;
+    while !pos < len do
+      let take = min (64 - t.used) (len - !pos) in
+      Bytes.blit_string s !pos t.block t.used take;
+      t.used <- t.used + take;
+      pos := !pos + take;
+      if t.used = 64 then begin
+        process t;
+        t.used <- 0
+      end
+    done
+
+  let hex t =
+    let t = copy t in
+    let bit_len = Int64.of_int (t.length * 8) in
+    (* Pad: 0x80, zeros to 56 mod 64, then the 64-bit big-endian bit count. *)
+    Bytes.set t.block t.used '\x80';
+    t.used <- t.used + 1;
+    if t.used > 56 then begin
+      Bytes.fill t.block t.used (64 - t.used) '\x00';
+      process t;
+      t.used <- 0
+    end;
+    Bytes.fill t.block t.used (56 - t.used) '\x00';
+    Bytes.set_int64_be t.block 56 bit_len;
+    process t;
+    let buf = Buffer.create 64 in
+    Array.iter (fun w -> Buffer.add_string buf (Printf.sprintf "%08lx" w)) t.h;
+    Buffer.contents buf
+end
+
+let sha256_hex s =
+  let t = Sha256.create () in
+  Sha256.add_string t s;
+  Sha256.hex t
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let fnv1a64_hex s = Printf.sprintf "%016Lx" (fnv1a64 s)

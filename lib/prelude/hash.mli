@@ -1,0 +1,36 @@
+(** Pure-OCaml content hashing for the artifact cache.
+
+    Two hash functions, both deterministic across runs, platforms and domain
+    counts (no randomized seeds, no ambient state):
+
+    - {!Sha256}: the FIPS 180-4 SHA-256, used as the content address of
+      cached stage artifacts. Collision resistance is what lets the cache
+      treat "same key" as "same canonical input bytes".
+    - {!fnv1a64}: the 64-bit FNV-1a, a cheap non-cryptographic checksum for
+      in-process fingerprinting (e.g. the fuzzing round-trip properties
+      compare artifact encodings by FNV before comparing structurally). *)
+
+module Sha256 : sig
+  type t
+  (** A streaming SHA-256 state. *)
+
+  val create : unit -> t
+
+  val add_string : t -> string -> unit
+  (** Absorb the whole string. May be called repeatedly;
+      [add_string t a; add_string t b] hashes the concatenation [a ^ b]. *)
+
+  val hex : t -> string
+  (** Finalize a {e copy} of the state and render the 32-byte digest as 64
+      lowercase hex characters. The state itself stays usable, so prefixes
+      of a stream can be digested incrementally. *)
+end
+
+val sha256_hex : string -> string
+(** One-shot [Sha256] digest of a string. *)
+
+val fnv1a64 : string -> int64
+(** 64-bit FNV-1a over the bytes of the string. *)
+
+val fnv1a64_hex : string -> string
+(** [fnv1a64] rendered as 16 lowercase hex characters. *)

@@ -60,7 +60,12 @@ let to_json flow =
   Buffer.contents buf
 
 let write_file path flow =
-  let oc = open_out path in
+  let oc =
+    (open_out
+     [@tqec.allow
+       "fs-write: geometry export writes to a user-chosen path on behalf of \
+        the bin/ CLIs; it is not cache state"]) path
+  in
   (try output_string oc (to_json flow)
    with e ->
      close_out_noerr oc;

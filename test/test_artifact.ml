@@ -1,0 +1,279 @@
+(* The content-addressed artifact graph: store semantics (memory + disk),
+   codec strictness, and the cached flow driver's contract — warm runs
+   bit-identical to cold ones, per-stage invalidation, corrupt-entry
+   recovery. *)
+
+open Tqec_circuit
+module Flow = Tqec_core.Flow
+module Codec = Tqec_artifact.Codec
+module Codecs = Tqec_artifact.Codecs
+module Stage = Tqec_artifact.Stage
+module Store = Tqec_artifact.Store
+module Json = Tqec_obs.Json
+
+let fast_options =
+  Flow.scale_options ~sa_iterations:1500 ~route_iterations:15 Flow.default_options
+
+let fig4_circuit () =
+  Circuit.make ~name:"fig4" ~num_qubits:3
+    [ Gate.Cnot { control = 0; target = 1 };
+      Gate.Cnot { control = 1; target = 2 };
+      Gate.Cnot { control = 0; target = 2 } ]
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tqec_artifact_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (* A fresh per-(process, call) name; Store.create makes the directory. *)
+    dir
+
+let check_stats label (eh, em, es) flow =
+  let h, m, s = Flow.cache_stats flow in
+  Alcotest.(check (triple int int int)) label (eh, em, es) (h, m, s)
+
+let flow_fingerprint f =
+  Json.to_string
+    (Json.Obj
+       [ ("volume", Json.Int f.Flow.volume);
+         ("placement", Codecs.of_placement f.Flow.placement);
+         ("cluster", Codecs.of_cluster f.Flow.cluster);
+         ("routing", Codecs.of_routing f.Flow.routing) ])
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_memory () =
+  let s = Store.create () in
+  Alcotest.(check (option string)) "empty miss" None
+    (Option.map Json.to_string (Store.find s ~stage:"a" ~key:"k"));
+  Store.store s ~stage:"a" ~key:"k" (Json.Int 1);
+  Store.store s ~stage:"b" ~key:"k" (Json.Int 2);
+  Alcotest.(check int) "two entries" 2 (Store.entries s);
+  Alcotest.(check (option string)) "stage-scoped hit" (Some "1")
+    (Option.map Json.to_string (Store.find s ~stage:"a" ~key:"k"));
+  Store.remove s ~stage:"a" ~key:"k";
+  Alcotest.(check (option string)) "removed" None
+    (Option.map Json.to_string (Store.find s ~stage:"a" ~key:"k"));
+  Alcotest.(check (option string)) "other stage intact" (Some "2")
+    (Option.map Json.to_string (Store.find s ~stage:"b" ~key:"k"))
+
+let test_store_disk_persistence () =
+  let dir = temp_dir () in
+  let s1 = Store.create ~dir () in
+  Store.store s1 ~stage:"preprocess" ~key:"deadbeef"
+    (Json.Obj [ ("x", Json.Int 7) ]);
+  (* A second store on the same directory starts warm. *)
+  let s2 = Store.create ~dir () in
+  Alcotest.(check int) "fresh memory" 0 (Store.entries s2);
+  (match Store.find s2 ~stage:"preprocess" ~key:"deadbeef" with
+   | Some j ->
+       Alcotest.(check string) "reloaded"
+         (Json.to_string (Json.Obj [ ("x", Json.Int 7) ]))
+         (Json.to_string j)
+   | None -> Alcotest.fail "disk entry not found");
+  Alcotest.(check int) "promoted to memory" 1 (Store.entries s2);
+  Store.remove s2 ~stage:"preprocess" ~key:"deadbeef";
+  let s3 = Store.create ~dir () in
+  Alcotest.(check bool) "removed from disk" true
+    (Store.find s3 ~stage:"preprocess" ~key:"deadbeef" = None)
+
+let test_store_unparseable_entry () =
+  let dir = temp_dir () in
+  let s1 = Store.create ~dir () in
+  Store.store s1 ~stage:"routing" ~key:"cafe" (Json.Int 3);
+  let path = Filename.concat (Filename.concat dir "routing") "cafe.json" in
+  let oc = open_out path in
+  output_string oc "{ not json";
+  close_out oc;
+  let s2 = Store.create ~dir () in
+  Alcotest.(check bool) "unparseable reads as miss" true
+    (Store.find s2 ~stage:"routing" ~key:"cafe" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Codec strictness                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_rejects_wrong_shape () =
+  let expect_error label decode json =
+    match Codec.to_result decode json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (label ^ ": wrong shape accepted")
+  in
+  expect_error "circuit from int" Codecs.circuit (Json.Int 3);
+  expect_error "circuit missing fields" Codecs.circuit (Json.Obj []);
+  expect_error "gate with bad tag" Codecs.gate
+    (Json.List [ Json.String "warp"; Json.Int 0 ]);
+  expect_error "routing from string" Codecs.routing (Json.String "x");
+  (* Constructor revalidation: a structurally well-formed circuit with an
+     out-of-range qubit is rejected by Circuit.make, not just by shape. *)
+  expect_error "circuit revalidated" Codecs.circuit
+    (Json.Obj
+       [ ("name", Json.String "bad");
+         ("qubits", Json.Int 1);
+         ("gates", Json.List [ Json.List [ Json.String "not"; Json.Int 5 ] ]) ])
+
+let test_circuit_roundtrip () =
+  let c = fig4_circuit () in
+  let c' = Codecs.circuit (Codecs.of_circuit c) in
+  Alcotest.(check string) "same canonical bytes"
+    (Json.to_string (Codecs.of_circuit c))
+    (Json.to_string (Codecs.of_circuit c'))
+
+(* ------------------------------------------------------------------ *)
+(* Cached flow driver                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cold_warm_bit_identity () =
+  let dir = temp_dir () in
+  let c = fig4_circuit () in
+  let cold = Flow.run ~options:fast_options ~cache:(Store.create ~dir ()) c in
+  check_stats "cold misses all stages" (0, 4, 4) cold;
+  (* The warm run goes through a fresh store instance on the same directory:
+     every artifact is decoded from its persisted bytes. *)
+  let warm = Flow.run ~options:fast_options ~cache:(Store.create ~dir ()) c in
+  check_stats "warm hits all stages" (4, 0, 0) warm;
+  Alcotest.(check string) "bit-identical artifacts" (flow_fingerprint cold)
+    (flow_fingerprint warm);
+  (* And identical to an uncached run: the cache is invisible in results. *)
+  let plain = Flow.run ~options:fast_options c in
+  check_stats "uncached run has no counters" (0, 0, 0) plain;
+  Alcotest.(check string) "identical to uncached" (flow_fingerprint plain)
+    (flow_fingerprint warm)
+
+let test_routing_config_invalidation () =
+  let store = Store.create () in
+  let c = fig4_circuit () in
+  let cold = Flow.run ~options:fast_options ~cache:store c in
+  check_stats "cold" (0, 4, 4) cold;
+  (* Only the routing config changes: the first three stage artifacts are
+     reused and exactly the routing stage recomputes. *)
+  let options =
+    { fast_options with
+      Flow.route =
+        { fast_options.Flow.route with
+          Tqec_route.Router.region_margin =
+            fast_options.Flow.route.Tqec_route.Router.region_margin + 1 } }
+  in
+  let reroute = Flow.run ~options ~cache:store c in
+  check_stats "reroute reuses three stages" (3, 1, 1) reroute
+
+let test_placement_config_invalidation () =
+  let store = Store.create () in
+  let c = fig4_circuit () in
+  ignore (Flow.run ~options:fast_options ~cache:store c);
+  (* A placement-seed change invalidates placement and (transitively,
+     through the changed placement artifact) routing, but not the first two
+     stages. *)
+  let options =
+    { fast_options with
+      Flow.place = { fast_options.Flow.place with Tqec_place.Place25d.seed = 43 } }
+  in
+  let replaced = Flow.run ~options ~cache:store c in
+  check_stats "seed change recomputes placement+routing" (2, 2, 2) replaced
+
+let test_corrupt_entry_recovery () =
+  let store = Store.create () in
+  let c = fig4_circuit () in
+  let cold = Flow.run ~options:fast_options ~cache:store c in
+  (* Overwrite the preprocess artifact with shape-valid-JSON garbage under
+     its correct key: the driver must evict, recompute and restore it. *)
+  let key = Stage.cache_key (module Flow.Preprocess) c in
+  Store.store store ~stage:"preprocess" ~key (Json.String "garbage");
+  let recovered = Flow.run ~options:fast_options ~cache:store c in
+  check_stats "corrupt entry recomputed, rest hit" (3, 1, 1) recovered;
+  Alcotest.(check string) "results unaffected" (flow_fingerprint cold)
+    (flow_fingerprint recovered);
+  let healed = Flow.run ~options:fast_options ~cache:store c in
+  check_stats "entry healed" (4, 0, 0) healed
+
+let test_cache_key_properties () =
+  let c = fig4_circuit () in
+  let k1 = Stage.cache_key (module Flow.Preprocess) c in
+  let k2 = Stage.cache_key (module Flow.Preprocess) c in
+  Alcotest.(check string) "deterministic" k1 k2;
+  Alcotest.(check int) "sha256 hex length" 64 (String.length k1);
+  let renamed = Circuit.make ~name:"fig4b" ~num_qubits:3 c.Circuit.gates in
+  Alcotest.(check bool) "input-sensitive" true
+    (not (String.equal k1 (Stage.cache_key (module Flow.Preprocess) renamed)))
+
+let test_metrics_cache_block () =
+  let store = Store.create () in
+  let c = fig4_circuit () in
+  ignore (Flow.run ~options:fast_options ~cache:store c);
+  let warm = Flow.run ~options:fast_options ~cache:store c in
+  let json = Flow.metrics_json warm in
+  (match Json.path [ "schema_version" ] json with
+   | Some (Json.Int 2) -> ()
+   | _ -> Alcotest.fail "schema_version must be 2");
+  (match Json.path [ "cache"; "hits" ] json with
+   | Some (Json.Int 4) -> ()
+   | _ -> Alcotest.fail "cache.hits must be 4 on a warm run");
+  (match Json.path [ "cache"; "misses" ] json with
+   | Some (Json.Int 0) -> ()
+   | _ -> Alcotest.fail "cache.misses must be 0 on a warm run");
+  (match Json.path [ "cache"; "hit_rate" ] json with
+   | Some (Json.Float r) -> Alcotest.(check bool) "hit_rate 1.0" true (r > 0.999)
+   | _ -> Alcotest.fail "cache.hit_rate missing")
+
+let test_validate_stage_prefix () =
+  let f = Flow.run ~options:fast_options (fig4_circuit ()) in
+  (match Flow.validate f with Ok () -> () | Error e -> Alcotest.fail e);
+  let starts_with ~prefix s =
+    String.length s >= String.length prefix
+    && String.equal (String.sub s 0 (String.length prefix)) prefix
+  in
+  let p = f.Flow.placement in
+  let pos = Array.copy p.Tqec_place.Place25d.module_pos in
+  pos.(1) <- pos.(0);
+  (match
+     Flow.validate
+       { f with Flow.placement = { p with Tqec_place.Place25d.module_pos = pos } }
+   with
+   | Error e ->
+       Alcotest.(check bool)
+         (Printf.sprintf "overlap error names placement (got %S)" e)
+         true
+         (starts_with ~prefix:"placement: " e)
+   | Ok () -> Alcotest.fail "overlap not detected");
+  let r = f.Flow.routing in
+  match
+    Flow.validate
+      { f with
+        Flow.routing =
+          { r with Tqec_route.Router.failed = [ List.hd f.Flow.nets ] } }
+  with
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "unrouted error names routing (got %S)" e)
+        true
+        (starts_with ~prefix:"routing: " e)
+  | Ok () -> Alcotest.fail "unrouted net not detected"
+
+let suites =
+  [ ( "artifact",
+      [ Alcotest.test_case "store: memory" `Quick test_store_memory;
+        Alcotest.test_case "store: disk persistence" `Quick
+          test_store_disk_persistence;
+        Alcotest.test_case "store: unparseable entry" `Quick
+          test_store_unparseable_entry;
+        Alcotest.test_case "codec: wrong shapes rejected" `Quick
+          test_codec_rejects_wrong_shape;
+        Alcotest.test_case "codec: circuit round-trip" `Quick
+          test_circuit_roundtrip;
+        Alcotest.test_case "flow: cold/warm bit identity" `Quick
+          test_cold_warm_bit_identity;
+        Alcotest.test_case "flow: routing-config invalidation" `Quick
+          test_routing_config_invalidation;
+        Alcotest.test_case "flow: placement-config invalidation" `Quick
+          test_placement_config_invalidation;
+        Alcotest.test_case "flow: corrupt entry recovery" `Quick
+          test_corrupt_entry_recovery;
+        Alcotest.test_case "stage: cache key" `Quick test_cache_key_properties;
+        Alcotest.test_case "metrics: cache block" `Quick test_metrics_cache_block;
+        Alcotest.test_case "validate: stage prefixes" `Quick
+          test_validate_stage_prefix ] ) ]

@@ -49,11 +49,18 @@ let test_pack_cache_prop () = expect_pass ~count:100 ~seed:7 Props.pack_cache
 let test_incremental_cost_prop () =
   expect_pass ~count:6 ~seed:7 (Props.incremental_cost ~max_qubits:4 ~max_gates:8)
 
+let test_artifact_roundtrip_prop () =
+  expect_pass ~count:6 ~seed:7 (Props.artifact_roundtrip ~max_qubits:4 ~max_gates:8)
+
+let test_cache_warm_identity_prop () =
+  expect_pass ~count:5 ~seed:7 (Props.cache_warm_identity ~max_qubits:4 ~max_gates:8)
+
 let test_prop_names () =
   Alcotest.(check (list string))
     "property registry"
     [ "decomposition-semantics"; "volume-vs-lin"; "oracle-agreement";
-      "bstar-pack-cache"; "sa-incremental-cost" ]
+      "bstar-pack-cache"; "sa-incremental-cost"; "artifact-roundtrip";
+      "cache-warm-bit-identity" ]
     (List.map Props.name (Props.all ~max_qubits:4 ~max_gates:8))
 
 let suites =
@@ -67,4 +74,8 @@ let suites =
         Alcotest.test_case "pack-cache property" `Quick test_pack_cache_prop;
         Alcotest.test_case "incremental-cost property" `Quick
           test_incremental_cost_prop;
+        Alcotest.test_case "artifact-roundtrip property" `Quick
+          test_artifact_roundtrip_prop;
+        Alcotest.test_case "cache-warm-identity property" `Quick
+          test_cache_warm_identity_prop;
         Alcotest.test_case "property names" `Quick test_prop_names ] ) ]

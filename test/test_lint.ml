@@ -111,6 +111,39 @@ let test_domain_spawn () =
   check_rules "Mutex.lock ok" [] "let f m = Mutex.lock m; Mutex.unlock m"
 
 (* ------------------------------------------------------------------ *)
+(* fs-write: persistent state is the artifact store's business          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fs_write () =
+  check_rules "open_out in a library" [ "fs-write" ]
+    "let f path = open_out path";
+  check_rules "open_out_bin in a library" [ "fs-write" ]
+    "let f path = open_out_bin path";
+  check_rules "Out_channel.with_open_text in a library" [ "fs-write" ]
+    "let f path = Out_channel.with_open_text path (fun _ -> ())";
+  check_rules "Sys.rename in a library" [ "fs-write" ]
+    "let f a b = Sys.rename a b";
+  check_rules "Sys.mkdir in a library" [ "fs-write" ]
+    "let f d = Sys.mkdir d 0o755";
+  (* Reading is never the rule's business. *)
+  check_rules "open_in ok" [] "let f path = open_in path";
+  Alcotest.(check (list string))
+    "waived in the store module" []
+    (rules_of
+       (lint ~file:"lib/artifact/store.ml"
+          "let f a b = Sys.rename a b\nlet g p = open_out_bin p"));
+  Alcotest.(check (list string))
+    "waived under bin/" []
+    (rules_of (lint ~file:"bin/tqec_compress.ml" "let f p = open_out p"));
+  Alcotest.(check (list string))
+    "waived under bench/" []
+    (rules_of (lint ~file:"bench/main.ml" "let f p = open_out p"));
+  check_rules "suppressible with a justification" []
+    "let f p =\n\
+    \  (open_out p)\n\
+    \  [@tqec.allow \"fs-write: fixture exercising the escape hatch\"]"
+
+(* ------------------------------------------------------------------ *)
 (* catch-all / list-nth                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -232,7 +265,7 @@ let test_merge_and_json () =
      && String.equal (String.sub text 0 (String.length prefix)) prefix)
 
 let test_rule_registry () =
-  Alcotest.(check int) "eight real rules" 8 (List.length Lint.rules);
+  Alcotest.(check int) "nine real rules" 9 (List.length Lint.rules);
   List.iter
     (fun (name, doc) ->
       Alcotest.(check bool) ("doc for " ^ name) true (String.length doc > 0))
@@ -248,6 +281,7 @@ let suites =
         Alcotest.test_case "ambient effects" `Quick test_ambient_effect;
         Alcotest.test_case "exit scope" `Quick test_exit_scope;
         Alcotest.test_case "domain spawn" `Quick test_domain_spawn;
+        Alcotest.test_case "fs-write" `Quick test_fs_write;
         Alcotest.test_case "catch-all" `Quick test_catch_all;
         Alcotest.test_case "list-nth" `Quick test_list_nth;
         Alcotest.test_case "suppression: expression level" `Quick

@@ -20,6 +20,7 @@ let () =
     @ Test_deform.suites
     @ Test_baseline.suites
     @ Test_core.suites
+    @ Test_artifact.suites
     @ Test_proptest.suites
     @ Test_verify.suites
     @ Test_fuzz.suites

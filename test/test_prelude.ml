@@ -129,6 +129,43 @@ let test_stopwatch () =
   let (), dt = Stopwatch.time (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
   Alcotest.(check bool) "non-negative" true (dt >= 0.0)
 
+(* SHA-256 against the FIPS 180-4 / NIST CAVP vectors. *)
+let test_sha256_vectors () =
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Hash.sha256_hex "");
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Hash.sha256_hex "abc");
+  Alcotest.(check string) "two-block message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Hash.sha256_hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  (* One byte short of the block boundary exercises the padding edge. *)
+  Alcotest.(check string) "63 bytes"
+    (Hash.sha256_hex (String.make 63 'a'))
+    (Hash.sha256_hex (String.concat "" [ String.make 31 'a'; String.make 32 'a' ]))
+
+let test_sha256_streaming () =
+  let one_shot = Hash.sha256_hex "the quick brown fox jumps over the lazy dog" in
+  let st = Hash.Sha256.create () in
+  Hash.Sha256.add_string st "the quick brown fox ";
+  Hash.Sha256.add_string st "jumps over ";
+  Hash.Sha256.add_string st "the lazy dog";
+  Alcotest.(check string) "incremental = one-shot" one_shot (Hash.Sha256.hex st);
+  (* [hex] must not consume the state: appending afterwards still works. *)
+  Hash.Sha256.add_string st "!";
+  Alcotest.(check string) "state reusable after hex"
+    (Hash.sha256_hex "the quick brown fox jumps over the lazy dog!")
+    (Hash.Sha256.hex st)
+
+let test_fnv1a64 () =
+  (* Standard FNV-1a 64-bit reference values. *)
+  Alcotest.(check string) "empty" "cbf29ce484222325" (Hash.fnv1a64_hex "");
+  Alcotest.(check string) "a" "af63dc4c8601ec8c" (Hash.fnv1a64_hex "a");
+  Alcotest.(check string) "foobar" "85944171f73967e8" (Hash.fnv1a64_hex "foobar");
+  Alcotest.(check bool) "distinct inputs differ" true
+    (not (Int64.equal (Hash.fnv1a64 "bridging") (Hash.fnv1a64 "placement")))
+
 let suites =
   [ ( "prelude.rng",
       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
@@ -148,4 +185,8 @@ let suites =
       [ Alcotest.test_case "basic" `Quick test_uf_basic;
         Alcotest.test_case "transitive" `Quick test_uf_transitive;
         QCheck_alcotest.to_alcotest uf_property ] );
-    ("prelude.stopwatch", [ Alcotest.test_case "time" `Quick test_stopwatch ]) ]
+    ("prelude.stopwatch", [ Alcotest.test_case "time" `Quick test_stopwatch ]);
+    ( "prelude.hash",
+      [ Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "sha256 streaming" `Quick test_sha256_streaming;
+        Alcotest.test_case "fnv1a64" `Quick test_fnv1a64 ] ) ]
