@@ -11,25 +11,31 @@ test:
 # Full gate, staged: build -> tests (incl. a CLI smoke run that must produce
 # a parseable metrics file) -> the same tier-1 suite again under a multi-domain
 # pool (TQEC_DOMAINS=2; results must be identical by the Taskpool determinism
-# contract) -> determinism/hot-path lint -> fixed-seed differential fuzzing ->
-# perf/volume regression gate -> stage-cache contract (cold/warm/reroute).
+# contract) -> the route/prelude suites once more under the Binheap reference
+# search kernel (TQEC_ROUTE_REFERENCE=1; both kernels must stay green) ->
+# determinism/hot-path lint -> fixed-seed differential fuzzing ->
+# perf/volume/expansion regression gate -> stage-cache contract
+# (cold/warm/reroute).
 check:
-	@echo "==== check [1/7] build ============================================"
+	@echo "==== check [1/8] build ============================================"
 	dune build
-	@echo "==== check [2/7] tests ============================================"
+	@echo "==== check [2/8] tests ============================================"
 	dune runtest
 	dune exec bin/tqec_compress.exe -- --benchmark 4gt10-v1_81 \
 	  --trace --metrics-json _build/metrics_smoke.json
 	dune exec bin/tqec_metrics_check.exe -- _build/metrics_smoke.json
-	@echo "==== check [3/7] tests (TQEC_DOMAINS=2) ==========================="
+	@echo "==== check [3/8] tests (TQEC_DOMAINS=2) ==========================="
 	TQEC_DOMAINS=2 dune runtest --force
-	@echo "==== check [4/7] lint ============================================="
+	@echo "==== check [4/8] tests (TQEC_ROUTE_REFERENCE=1) ==================="
+	TQEC_ROUTE_REFERENCE=1 dune exec test/test_main.exe -- test route
+	TQEC_ROUTE_REFERENCE=1 dune exec test/test_main.exe -- test prelude
+	@echo "==== check [5/8] lint ============================================="
 	$(MAKE) lint
-	@echo "==== check [5/7] fuzz ============================================="
+	@echo "==== check [6/8] fuzz ============================================="
 	$(MAKE) fuzz
-	@echo "==== check [6/7] perf ============================================="
+	@echo "==== check [7/8] perf ============================================="
 	$(MAKE) perf
-	@echo "==== check [7/7] cache ============================================"
+	@echo "==== check [8/8] cache ============================================"
 	$(MAKE) cache
 	@echo "==== check: all stages passed ====================================="
 
@@ -51,8 +57,9 @@ bench:
 
 # Perf regression gate: rerun the fast benchmark subset in --json mode at
 # TQEC_DOMAINS=1 and TQEC_DOMAINS=4 and fail if any space-time volume drifts
-# from the committed BENCH_pr6.json — which also pins the two runs
-# bit-identical to each other, the parallel pipeline's determinism contract
+# from the committed BENCH_pr7.json — which also pins the two runs
+# bit-identical to each other, the parallel pipeline's determinism contract —
+# or if the TQEC_DOMAINS=1 run expands more A* nodes than the baseline
 # (times and rates are machine-dependent, reported informationally).
 PERF_SUBSET = 4gt10-v1_81,4gt4-v0_73
 perf: build
@@ -60,7 +67,7 @@ perf: build
 	  dune exec bench/main.exe -- --json > _build/bench_perf_d1.json
 	TQEC_EFFORT=fast TQEC_BENCH_ONLY=$(PERF_SUBSET) TQEC_DOMAINS=4 \
 	  dune exec bench/main.exe -- --json > _build/bench_perf_d4.json
-	dune exec bin/tqec_perf_check.exe -- BENCH_pr6.json \
+	dune exec bin/tqec_perf_check.exe -- BENCH_pr7.json \
 	  _build/bench_perf_d1.json _build/bench_perf_d4.json
 
 # Stage-cache contract gate: run the perf subset with a fresh on-disk cache

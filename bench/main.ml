@@ -513,6 +513,14 @@ let bechamel_section () =
       Test.make ~name:"astar:4gt10-longest-net"
         (Staged.stage (fun () -> astar_search ()))
     in
+    let astar_ref_search, _ =
+      Tqec_route.Router.astar_bench ~kernel:Tqec_route.Router.Reference
+        Tqec_route.Router.default_config placement sa_nets
+    in
+    let astar_ref_test =
+      Test.make ~name:"astar-ref:4gt10-longest-net"
+        (Staged.stage (fun () -> astar_ref_search ()))
+    in
     let rtree_test =
       Test.make ~name:"rtree:insert+query-500"
         (Staged.stage (fun () ->
@@ -559,7 +567,7 @@ let bechamel_section () =
                match Analyze.OLS.estimates result with
                | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
                | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name))
-      [ bridge_test; pack_test; sa_eval_test; astar_test; rtree_test; sim_test ]
+      [ bridge_test; pack_test; sa_eval_test; astar_test; astar_ref_test; rtree_test; sim_test ]
   end
 
 (* ------------------------------------------------------------------ *)
@@ -672,6 +680,7 @@ let json_mode () =
              Json.List (List.map (fun m -> Json.Int m) moves_per_chain));
             ("sa_moves_per_sec", Json.Float (per_sec sa_moves b.Flow.t_placement));
             ("astar_expansions", Json.Int expansions);
+            ("heap_pushes", Json.Int (Flow.stage_counter f "routing" "heap_pushes"));
             ("astar_expansions_per_sec",
              Json.Float (per_sec expansions b.Flow.t_routing));
             ("cold_cache_misses", Json.Int c.cold_misses);
@@ -687,7 +696,7 @@ let json_mode () =
   print_endline
     (Json.to_string ~pretty:true
        (Json.Obj
-          [ ("schema_version", Json.Int 3);
+          [ ("schema_version", Json.Int 4);
             ("effort", Json.String (effort_name ()));
             ("seed", Json.Int seed);
             ("cache", Json.Bool (Option.is_some cache_store));

@@ -4,8 +4,12 @@
    Several current files may be given (e.g. one run at TQEC_DOMAINS=1 and
    one at TQEC_DOMAINS=4); each is held to the same exact-volume contract,
    which also pins them bit-identical to each other — the determinism
-   guarantee of the parallel pipeline. Times and rates are machine-dependent
-   and reported informationally.
+   guarantee of the parallel pipeline. A* expansion counts are equally
+   deterministic, and a run whose domain count matches the baseline's must
+   not expand more nodes than the baseline — the search-efficiency
+   regression gate (speculative multi-domain runs redo work, so the gate
+   only applies at matching domain counts). Times and rates are
+   machine-dependent and reported informationally.
 
      tqec_perf_check BASELINE.json CURRENT.json [CURRENT2.json ...] *)
 
@@ -49,12 +53,13 @@ let float_field b key =
   | Some (Json.Int v) -> float_of_int v
   | Some _ | None -> 0.0
 
-let check_current ~baseline_file ~baseline ~drifted current_file =
+let domains_of json =
+  match Json.member "domains" json with Some (Json.Int d) -> d | _ -> 1
+
+let check_current ~baseline_file ~baseline ~baseline_domains ~drifted current_file =
   let json = read_json current_file in
   let current = benchmarks current_file json in
-  let domains =
-    match Json.member "domains" json with Some (Json.Int d) -> d | _ -> 1
-  in
+  let domains = domains_of json in
   List.iter
     (fun (name, b) ->
       match List.assoc_opt name current with
@@ -68,6 +73,20 @@ let check_current ~baseline_file ~baseline ~drifted current_file =
               "tqec_perf_check: VOLUME DRIFT on %s (%s, domains=%d): baseline %d, \
                current %d\n"
               name current_file domains vb vc
+          end;
+          (* Expansion counts are only comparable between runs doing the
+             same work: speculative passes at higher domain counts expand
+             extra nodes by design. *)
+          if domains = baseline_domains then begin
+            let eb = int_field baseline_file name b "astar_expansions" in
+            let ec = int_field current_file name c "astar_expansions" in
+            if ec > eb then begin
+              incr drifted;
+              Printf.eprintf
+                "tqec_perf_check: EXPANSION REGRESSION on %s (%s, domains=%d): \
+                 baseline %d, current %d\n"
+                name current_file domains eb ec
+            end
           end;
           let rate key =
             let rb = float_field b key and rc = float_field c key in
@@ -89,10 +108,17 @@ let () =
     | _ :: baseline :: (_ :: _ as currents) -> (baseline, currents)
     | _ -> fail "usage: tqec_perf_check BASELINE.json CURRENT.json [CURRENT2.json ...]"
   in
-  let baseline = benchmarks baseline_file (read_json baseline_file) in
+  let baseline_json = read_json baseline_file in
+  let baseline = benchmarks baseline_file baseline_json in
+  let baseline_domains = domains_of baseline_json in
   let drifted = ref 0 in
-  List.iter (check_current ~baseline_file ~baseline ~drifted) current_files;
-  if !drifted > 0 then fail "%d benchmark volume(s) drifted from the baseline" !drifted;
-  Printf.printf "tqec_perf_check: %d benchmark volume(s) match %s across %d run(s)\n"
+  List.iter
+    (check_current ~baseline_file ~baseline ~baseline_domains ~drifted)
+    current_files;
+  if !drifted > 0 then
+    fail "%d benchmark gate(s) failed against the baseline" !drifted;
+  Printf.printf
+    "tqec_perf_check: %d benchmark(s) match %s (volumes exact, expansions \
+     bounded) across %d run(s)\n"
     (List.length baseline) baseline_file
     (List.length current_files)

@@ -209,7 +209,10 @@ module Routing = struct
 
   let name = "routing"
 
-  let version = "1"
+  (* 2: PR7 search-kernel rework — the canonical open-list order (f
+     ascending, FIFO within a key) shifts negotiation tie-breaks, so cached
+     routings from version 1 are not reproducible by the current code. *)
+  let version = "2"
 
   let key { config; placement; nets; pool = _ } =
     let cluster = placement.Place25d.cluster in

@@ -246,6 +246,65 @@ let cache_warm_identity ~max_qubits ~max_gates =
         && Flow.cache_stats cold = (0, 4, 4)
         && Flow.cache_stats warm = (4, 0, 0) )
 
+(* --- restricted-region routing (PR7 speed work) --- *)
+
+module Router = Tqec_route.Router
+
+(* Restricted per-net search regions (paper SIII-D) are the router's main
+   throughput lever. Byte-identical results against full-grid regions are
+   NOT claimed — and are empirically false: widening a region changes the
+   weighted-A* frontier, so equal-cost paths, the rip-up schedule, and
+   occasionally the final volume (observed within a few percent, either
+   direction) all drift. What the differential run must guarantee is that
+   the region machinery (clipping, stride indexing, growth-on-failure,
+   region-scoped heuristic floors) never corrupts a layout: both modes
+   produce geometry that passes the full validator, and both volumes cover
+   the placement and stay within a 1.3x envelope of each other — a
+   region-bookkeeping bug shows up as a validation failure or a volume
+   blow-up long before it shows up as a subtle drift. *)
+let restricted_region ~max_qubits ~max_gates =
+  Prop
+    ( "route-restricted-region",
+      salted_arbitrary ~max_qubits ~max_gates,
+      fun (c, salt) ->
+        let options = options_with_seed salt in
+        let trace = Tqec_obs.Trace.noop in
+        let pre = Flow.Preprocess.run ~trace c in
+        let br =
+          Flow.Bridging.run ~trace
+            { Flow.Bridging.bridging = options.Flow.bridging;
+              modular = pre.Flow.Preprocess.modular }
+        in
+        let pl =
+          Flow.Placement.run ~trace
+            { Flow.Placement.primal_groups = options.Flow.primal_groups;
+              max_group_size = options.Flow.max_group_size;
+              config = options.Flow.place;
+              modular = pre.Flow.Preprocess.modular;
+              nets = br.Flow.Bridging.nets;
+              pool = None }
+        in
+        (* Full default pass budget: region growth needs a few extra passes
+           to converge, and the claim is about converged runs. *)
+        let rcfg =
+          { options.Flow.route with
+            Tqec_route.Router.friend_aware =
+              options.Flow.friend_aware && options.Flow.bridging;
+            max_iterations = Router.default_config.Router.max_iterations }
+        in
+        let placement = pl.Flow.Placement.placement in
+        let nets = br.Flow.Bridging.nets in
+        let restricted = Router.route rcfg placement nets in
+        let full = Router.route ~restrict_regions:false rcfg placement nets in
+        let valid r =
+          match Router.validate placement r with Ok () -> true | Error _ -> false
+        in
+        let vr = restricted.Router.volume and vf = full.Router.volume in
+        valid restricted && valid full
+        && vr >= placement.Tqec_place.Place25d.volume
+        && vf >= placement.Tqec_place.Place25d.volume
+        && 10 * max vr vf <= 13 * min vr vf )
+
 let all ~max_qubits ~max_gates =
   [ semantics ~max_qubits ~max_gates;
     volume ~max_qubits ~max_gates;
@@ -253,7 +312,8 @@ let all ~max_qubits ~max_gates =
     pack_cache;
     incremental_cost ~max_qubits ~max_gates;
     artifact_roundtrip ~max_qubits ~max_gates;
-    cache_warm_identity ~max_qubits ~max_gates ]
+    cache_warm_identity ~max_qubits ~max_gates;
+    restricted_region ~max_qubits ~max_gates ]
 
 let run_prop ?count ?seed (Prop (n, arb, f)) =
   Property.run ?count ?seed ~name:n arb f

@@ -1,0 +1,47 @@
+(** Dial's bucketed min-priority queue over small non-negative integer keys,
+    specialized to [int] values.
+
+    The routing A* keys its open list on quantized Manhattan f-values — small
+    dense integers — so a bucket per key replaces the comparison-based heap:
+    push and pop are O(1) amortized (a pop scans the bucket array forward
+    from the last popped key), no entry is ever allocated, and the order is
+    fully specified: strictly increasing keys, FIFO within a key (entries
+    pushed first pop first). Unlike the classic Dial queue the key sequence
+    need not be monotone: pushing a key below the scan finger simply moves
+    the finger back, which weighted A* does whenever a child's f dips under
+    its parent's.
+
+    Capacity grows to the largest key ever pushed and is retained across
+    {!clear}, which is O(1) (generation stamp); a queue reused across many
+    searches touches only the buckets each search actually visits. *)
+
+type t
+
+val create : unit -> t
+
+val is_empty : t -> bool
+
+val size : t -> int
+(** Live entries. *)
+
+val push : t -> key:int -> int -> unit
+(** O(1) amortized. Raises [Invalid_argument] on a negative key. *)
+
+val pop : t -> (int * int) option
+(** Remove and return [(key, value)] with the smallest key, or [None] when
+    empty. Entries sharing a key leave in push order (FIFO) — the
+    deterministic tie-break contract the differential tests pin. *)
+
+val peek : t -> (int * int) option
+(** Like {!pop} without removing. *)
+
+val pop_min : t -> int
+(** Allocation-free {!pop}: the value alone, or [min_int] when empty (so
+    clients storing [min_int] as a value must use {!pop} instead). The
+    removed entry's key is readable via {!last_key} until the next pop. *)
+
+val last_key : t -> int
+(** Key of the most recent {!pop}/{!pop_min}; [min_int] before the first. *)
+
+val clear : t -> unit
+(** O(1); the next generation reuses the allocated buckets. *)

@@ -42,9 +42,20 @@ type result = {
       (** nets that succeeded in pass 1 — the 85–95% figure of §IV-C3 *)
 }
 
+type kernel = Dial | Reference
+(** Search-kernel choice. [Dial] is the canonical production kernel: a
+    bucketed Dial queue over flat region-strided scratch. [Reference] is the
+    slow, structurally independent Binheap kernel kept as a differential
+    referee. Both realize the same documented open-list order — f ascending,
+    push order within equal f — over the same cost model, so they return
+    byte-identical paths on every input; the TQEC_ROUTE_REFERENCE=1
+    environment toggle (any value other than "" / "0") forces [Reference]
+    inside {!route} without affecting results or cache keys. *)
+
 val route :
   ?trace:Tqec_obs.Trace.span ->
   ?pool:Tqec_prelude.Pool.t ->
+  ?restrict_regions:bool ->
   config ->
   Tqec_place.Place25d.placement ->
   Tqec_bridge.Bridge.net list ->
@@ -61,9 +72,17 @@ val route :
     layout — paths, volume, rip-up schedule — is bit-identical for every
     domain count; only the telemetry counters ([astar_expansions],
     [heap_pushes], [nets_respeculated]) reflect the speculative extra work.
-    With a 1-domain pool the sequential path runs unchanged. *)
+    With a 1-domain pool the sequential path runs unchanged.
+
+    [restrict_regions] (default [true]) is a test hook: [false] searches the
+    whole grid for every net instead of the restricted per-net regions of
+    §III-D. The fuzz property [route-restricted-region] pins both modes to
+    the same committed segments and volume; production callers (the Flow
+    stage) always use the default, so the flag is not part of the routing
+    config fed to stage cache keys. *)
 
 val astar_bench :
+  ?kernel:kernel ->
   config ->
   Tqec_place.Place25d.placement ->
   Tqec_bridge.Bridge.net list ->
@@ -79,6 +98,86 @@ val routed_segments : result -> (int * Tqec_geom.Point3.t list) list
     geometry view consumed by the independent layout oracle
     ([tqec_verify]). Paths are shared, not copied; treat them as
     read-only. *)
+
+module Search : sig
+  (** Standalone search arena over a fresh grid — the surface the
+      differential kernel tests drive: pinned grids, explicit history /
+      occupancy, both kernels, exact-admissible heuristic mode, and an
+      exhaustive Dijkstra ground truth. Not used by {!route}. *)
+
+  type nonrec kernel = kernel = Dial | Reference
+
+  type t
+
+  val make : lo:Tqec_geom.Point3.t -> hi:Tqec_geom.Point3.t -> t
+  (** Empty arena on the half-open box [\[lo, hi)]: nothing blocked, zero
+      history, zero occupancy. *)
+
+  val block : t -> Tqec_geom.Point3.t -> unit
+
+  val set_history : t -> Tqec_geom.Point3.t -> float -> unit
+
+  val set_occ : t -> Tqec_geom.Point3.t -> int -> unit
+
+  val run :
+    ?kernel:kernel ->
+    ?exact:bool ->
+    ?max_expansions:int ->
+    ?present_penalty:float ->
+    t ->
+    region:Tqec_geom.Cuboid.t ->
+    starts:Tqec_geom.Point3.t list ->
+    goals:Tqec_geom.Point3.t list ->
+    target:Tqec_geom.Point3.t ->
+    Tqec_geom.Point3.t list option
+  (** One search. [exact] (default [false]) selects the exact-admissible
+      heuristic [(quantum + minc) * distance] instead of the 1.5x-weighted
+      production term; [minc] is the history-derived per-step floor in both
+      modes. Starts and goals outside [region] (clipped to the grid) are
+      ignored. The search aborts after exactly [max_expansions] node
+      expansions (stale and terminal pops are not counted). *)
+
+  val expansions : t -> int
+  (** Cumulative nodes expanded across every [run] on this arena. *)
+
+  val pushes : t -> int
+  (** Cumulative open-list pushes across every [run] on this arena. *)
+
+  val heuristic :
+    ?exact:bool ->
+    t ->
+    region:Tqec_geom.Cuboid.t ->
+    target:Tqec_geom.Point3.t ->
+    Tqec_geom.Point3.t ->
+    int
+  (** The h-value the kernels would assign to a cell — [u * manhattan
+      target] with the history floor folded into [u]. *)
+
+  val true_costs :
+    ?present_penalty:float ->
+    t ->
+    region:Tqec_geom.Cuboid.t ->
+    target:Tqec_geom.Point3.t ->
+    Tqec_geom.Point3.t ->
+    int option
+  (** [true_costs t ~region ~target] computes, by exhaustive backward
+      Dijkstra inside [region], the exact cheapest cost of walking from a
+      cell to [target] under the kernels' cost model ([None] when
+      unreachable or outside the region). The admissibility referee: the
+      [exact] heuristic must never exceed it. *)
+end
+
+val reference_search :
+  ?exact:bool ->
+  ?max_expansions:int ->
+  ?present_penalty:float ->
+  Search.t ->
+  region:Tqec_geom.Cuboid.t ->
+  starts:Tqec_geom.Point3.t list ->
+  goals:Tqec_geom.Point3.t list ->
+  target:Tqec_geom.Point3.t ->
+  Tqec_geom.Point3.t list option
+(** {!Search.run} pinned to the PR 6 Binheap kernel — used only by tests. *)
 
 val validate :
   Tqec_place.Place25d.placement -> result -> (unit, string) Stdlib.result

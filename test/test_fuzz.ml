@@ -55,12 +55,15 @@ let test_artifact_roundtrip_prop () =
 let test_cache_warm_identity_prop () =
   expect_pass ~count:5 ~seed:7 (Props.cache_warm_identity ~max_qubits:4 ~max_gates:8)
 
+let test_restricted_region_prop () =
+  expect_pass ~count:5 ~seed:7 (Props.restricted_region ~max_qubits:4 ~max_gates:8)
+
 let test_prop_names () =
   Alcotest.(check (list string))
     "property registry"
     [ "decomposition-semantics"; "volume-vs-lin"; "oracle-agreement";
       "bstar-pack-cache"; "sa-incremental-cost"; "artifact-roundtrip";
-      "cache-warm-bit-identity" ]
+      "cache-warm-bit-identity"; "route-restricted-region" ]
     (List.map Props.name (Props.all ~max_qubits:4 ~max_gates:8))
 
 let suites =
@@ -78,4 +81,6 @@ let suites =
           test_artifact_roundtrip_prop;
         Alcotest.test_case "cache-warm-identity property" `Quick
           test_cache_warm_identity_prop;
+        Alcotest.test_case "restricted-region property" `Quick
+          test_restricted_region_prop;
         Alcotest.test_case "property names" `Quick test_prop_names ] ) ]

@@ -166,6 +166,146 @@ let test_fnv1a64 () =
   Alcotest.(check bool) "distinct inputs differ" true
     (not (Int64.equal (Hash.fnv1a64 "bridging") (Hash.fnv1a64 "placement")))
 
+(* --- Dialq ------------------------------------------------------------- *)
+
+let drain_dialq q =
+  let rec go acc =
+    match Dialq.pop q with None -> List.rev acc | Some kv -> go (kv :: acc)
+  in
+  go []
+
+let test_dialq_order () =
+  let q = Dialq.create () in
+  let keys = [ 9; 3; 7; 3; 0; 12; 7; 1 ] in
+  List.iteri (fun i k -> Dialq.push q ~key:k (100 + i)) keys;
+  Alcotest.(check int) "size" (List.length keys) (Dialq.size q);
+  let out = drain_dialq q in
+  let ks = List.map fst out in
+  Alcotest.(check (list int)) "keys ascend" (List.sort compare keys) ks;
+  Alcotest.(check bool) "empty after drain" true (Dialq.is_empty q);
+  Alcotest.(check (list int)) "all values present"
+    (List.init (List.length keys) (fun i -> 100 + i))
+    (List.sort compare (List.map snd out))
+
+let test_dialq_fifo_tie_break () =
+  let q = Dialq.create () in
+  (* Values sharing key 5 are pushed 1,2,3 interleaved with other keys. *)
+  Dialq.push q ~key:5 1;
+  Dialq.push q ~key:2 10;
+  Dialq.push q ~key:5 2;
+  Dialq.push q ~key:8 20;
+  Dialq.push q ~key:5 3;
+  Alcotest.(check (list (pair int int)))
+    "FIFO within key"
+    [ (2, 10); (5, 1); (5, 2); (5, 3); (8, 20) ]
+    (drain_dialq q)
+
+let test_dialq_empty () =
+  let q = Dialq.create () in
+  Alcotest.(check bool) "fresh empty" true (Dialq.is_empty q);
+  Alcotest.(check (option (pair int int))) "pop empty" None (Dialq.pop q);
+  Alcotest.(check (option (pair int int))) "peek empty" None (Dialq.peek q);
+  Alcotest.(check int) "pop_min sentinel" min_int (Dialq.pop_min q)
+
+let test_dialq_peek_pop_min () =
+  let q = Dialq.create () in
+  Dialq.push q ~key:4 44;
+  Dialq.push q ~key:2 22;
+  Alcotest.(check (option (pair int int))) "peek min" (Some (2, 22)) (Dialq.peek q);
+  Alcotest.(check int) "peek does not remove" 2 (Dialq.size q);
+  Alcotest.(check int) "pop_min value" 22 (Dialq.pop_min q);
+  Alcotest.(check int) "last_key" 2 (Dialq.last_key q);
+  Alcotest.(check int) "pop_min value 2" 44 (Dialq.pop_min q);
+  Alcotest.(check int) "last_key 2" 4 (Dialq.last_key q)
+
+let test_dialq_clear_reuse () =
+  let q = Dialq.create () in
+  for gen = 1 to 4 do
+    (* Reuse the same queue across generations: stale bucket contents from
+       the previous generation must never leak into the next drain. *)
+    Dialq.push q ~key:3 (gen * 10);
+    Dialq.push q ~key:1 (gen * 10 + 1);
+    Dialq.push q ~key:3 (gen * 10 + 2);
+    if gen mod 2 = 0 then ignore (Dialq.pop q);
+    Dialq.clear q;
+    Alcotest.(check bool) "cleared" true (Dialq.is_empty q);
+    Dialq.push q ~key:3 gen;
+    Alcotest.(check (list (pair int int))) "only new entries" [ (3, gen) ]
+      (drain_dialq q)
+  done
+
+let test_dialq_key_decrease () =
+  (* Weighted A* pushes keys below the last popped key; the scan finger must
+     move back rather than skip them. *)
+  let q = Dialq.create () in
+  Dialq.push q ~key:10 1;
+  Dialq.push q ~key:20 2;
+  Alcotest.(check (option (pair int int))) "first" (Some (10, 1)) (Dialq.pop q);
+  Dialq.push q ~key:4 3;
+  Dialq.push q ~key:15 4;
+  Alcotest.(check (list (pair int int)))
+    "low key pushed after a higher pop still pops first"
+    [ (4, 3); (15, 4); (20, 2) ]
+    (drain_dialq q)
+
+let test_dialq_negative_key () =
+  let q = Dialq.create () in
+  Alcotest.check_raises "negative key rejected"
+    (Invalid_argument "Dialq.push: negative key") (fun () ->
+      Dialq.push q ~key:(-1) 0)
+
+(* Differential property: random interleavings of pushes and pops drain from
+   Dialq and from Binheap in identical order, when the Binheap realizes the
+   same documented total order (key ascending, FIFO within a key) through the
+   composite max-heap key [-(key * 2^bits + push_seq)] — the same encoding
+   the router's reference kernel uses. *)
+let dialq_vs_binheap_outcome () =
+  let module P = Tqec_proptest.Property in
+  let module G = Tqec_proptest.Gen in
+  let op = G.frequency [ (3, G.map (fun k -> Some k) (G.int_bound 64)); (1, G.const None) ] in
+  let arb =
+    P.make
+      ~print:(fun ops ->
+        String.concat ";"
+          (List.map (function Some k -> string_of_int k | None -> "pop") ops))
+      (G.list ~max_len:200 op)
+  in
+  P.run ~count:300 ~seed:41 ~name:"dialq-vs-binheap" arb (fun ops ->
+      let bits = 21 in
+      let q = Dialq.create () and h = Binheap.create () in
+      let seq = ref 0 and n = ref 0 in
+      let agree = ref true in
+      let check_pops () =
+        let expect = Dialq.pop q in
+        let got =
+          match Binheap.pop h with
+          | None -> None
+          | Some (nk, (k, v)) ->
+              if -nk asr bits <> k then agree := false;
+              Some (k, v)
+        in
+        if expect <> got then agree := false
+      in
+      List.iter
+        (fun o ->
+          match o with
+          | Some k ->
+              Dialq.push q ~key:k !n;
+              Binheap.push h ~key:(-((k lsl bits) + !seq)) (k, !n);
+              incr seq;
+              incr n
+          | None -> check_pops ())
+        ops;
+      while not (Dialq.is_empty q) || not (Binheap.is_empty h) do
+        check_pops ()
+      done;
+      !agree)
+
+let test_dialq_vs_binheap () =
+  match Tqec_proptest.Property.check (dialq_vs_binheap_outcome ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
 let suites =
   [ ( "prelude.rng",
       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
@@ -181,6 +321,15 @@ let suites =
         Alcotest.test_case "peek" `Quick test_heap_peek;
         Alcotest.test_case "clear" `Quick test_heap_clear;
         QCheck_alcotest.to_alcotest heap_property ] );
+    ( "prelude.dialq",
+      [ Alcotest.test_case "order" `Quick test_dialq_order;
+        Alcotest.test_case "fifo tie-break" `Quick test_dialq_fifo_tie_break;
+        Alcotest.test_case "empty" `Quick test_dialq_empty;
+        Alcotest.test_case "peek and pop_min" `Quick test_dialq_peek_pop_min;
+        Alcotest.test_case "clear reuse across generations" `Quick test_dialq_clear_reuse;
+        Alcotest.test_case "non-monotone key decrease" `Quick test_dialq_key_decrease;
+        Alcotest.test_case "negative key" `Quick test_dialq_negative_key;
+        Alcotest.test_case "dialq-vs-binheap differential" `Quick test_dialq_vs_binheap ] );
     ( "prelude.union_find",
       [ Alcotest.test_case "basic" `Quick test_uf_basic;
         Alcotest.test_case "transitive" `Quick test_uf_transitive;

@@ -141,6 +141,211 @@ let test_route_without_bridging () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+(* --- search kernels --- *)
+
+module Search = Router.Search
+
+(* A pinned set of arena scenarios: each builds the same setup twice (the
+   arenas own cumulative counters) and must produce byte-identical paths and
+   identical expansion/push counts from the Dial and the Binheap reference
+   kernels, in both heuristic modes. *)
+let kernel_scenarios =
+  let wall_maze t =
+    (* A y-z wall at x=4 with one gap, plus a second wall at x=7. *)
+    for y = 0 to 5 do
+      for z = 0 to 2 do
+        if not (y = 4 && z = 1) then Search.block t (p 4 y z);
+        if not (y = 0 && z = 0) then Search.block t (p 7 y z)
+      done
+    done
+  in
+  let history_hills t =
+    for x = 0 to 9 do
+      for y = 0 to 5 do
+        Search.set_history t (p x y 0) (0.25 *. float_of_int ((x + y) mod 4))
+      done
+    done;
+    Search.set_occ t (p 5 2 0) 1;
+    Search.set_occ t (p 5 3 0) 2
+  in
+  let full = Cuboid.make (p 0 0 0) (p 10 6 3) in
+  [ ("straight", (fun _ -> ()), full, [ p 0 0 0 ], [ p 9 5 2 ], p 9 5 2);
+    ("maze", wall_maze, full, [ p 0 0 0 ], [ p 9 0 0 ], p 9 0 0);
+    ("history", history_hills, full, [ p 0 0 0 ], [ p 9 5 0 ], p 9 5 0);
+    ( "multi start/goal",
+      wall_maze,
+      full,
+      [ p 0 0 0; p 0 5 2; p 2 3 1 ],
+      [ p 9 0 0; p 9 5 2 ],
+      p 9 0 0 );
+    ( "restricted region",
+      (fun _ -> ()),
+      Cuboid.make (p 1 1 0) (p 9 5 2),
+      [ p 0 0 0; p 1 1 0 ],
+      [ p 8 4 1 ],
+      p 8 4 1 ) ]
+
+let run_scenario kernel exact (_, setup, region, starts, goals, target) =
+  let t = Search.make ~lo:(p 0 0 0) ~hi:(p 10 6 3) in
+  setup t;
+  let path = Search.run ~kernel ~exact t ~region ~starts ~goals ~target in
+  (path, Search.expansions t, Search.pushes t)
+
+let test_kernel_equivalence () =
+  List.iter
+    (fun scenario ->
+      let name, _, _, _, _, _ = scenario in
+      List.iter
+        (fun exact ->
+          let label s = Printf.sprintf "%s (exact=%b): %s" name exact s in
+          let pd, ed, hd = run_scenario Search.Dial exact scenario in
+          let pr, er, hr = run_scenario Search.Reference exact scenario in
+          (match pd with
+          | None -> Alcotest.fail (label "dial kernel found no path")
+          | Some _ -> ());
+          Alcotest.(check (list string))
+            (label "byte-identical path")
+            (match pd with Some l -> List.map Point3.to_string l | None -> [])
+            (match pr with Some l -> List.map Point3.to_string l | None -> []);
+          Alcotest.(check int) (label "same expansions") ed er;
+          Alcotest.(check int) (label "same pushes") hd hr)
+        [ false; true ])
+    kernel_scenarios
+
+let test_reference_search_alias () =
+  let scenario = List.nth kernel_scenarios 1 in
+  let _, setup, region, starts, goals, target = scenario in
+  let t = Search.make ~lo:(p 0 0 0) ~hi:(p 10 6 3) in
+  setup t;
+  let via_alias = Router.reference_search t ~region ~starts ~goals ~target in
+  let pd, _, _ = run_scenario Search.Dial false scenario in
+  Alcotest.(check (list string)) "reference_search = dial path"
+    (match pd with Some l -> List.map Point3.to_string l | None -> [])
+    (match via_alias with Some l -> List.map Point3.to_string l | None -> [])
+
+(* The exact-admissible heuristic must never exceed the true remaining cost,
+   exhaustively checked by backward Dijkstra over every cell of small
+   regions — including a saturated-history arena where the folded per-step
+   floor [minc] is strictly positive. *)
+let test_heuristic_admissible () =
+  let arenas =
+    [ ("empty", fun _ -> ());
+      ( "maze+history",
+        fun t ->
+          Search.block t (p 2 1 0);
+          Search.block t (p 2 2 0);
+          Search.block t (p 3 3 1);
+          Search.set_history t (p 1 1 0) 0.75;
+          Search.set_history t (p 4 2 1) 1.5;
+          Search.set_occ t (p 1 2 0) 2 );
+      ( "saturated history",
+        fun t ->
+          for x = 0 to 5 do
+            for y = 0 to 4 do
+              for z = 0 to 1 do
+                Search.set_history t (p x y z) (2.0 +. (0.125 *. float_of_int x))
+              done
+            done
+          done ) ]
+  in
+  let region = Cuboid.make (p 0 0 0) (p 6 5 2) in
+  let target = p 5 4 1 in
+  List.iter
+    (fun (name, setup) ->
+      let t = Search.make ~lo:(p 0 0 0) ~hi:(p 6 5 2) in
+      setup t;
+      let true_cost = Search.true_costs t ~region ~target in
+      let checked = ref 0 in
+      for x = 0 to 5 do
+        for y = 0 to 4 do
+          for z = 0 to 1 do
+            let cell = p x y z in
+            match true_cost cell with
+            | None -> ()
+            | Some tc ->
+                incr checked;
+                let h = Search.heuristic ~exact:true t ~region ~target cell in
+                if h > tc then
+                  Alcotest.fail
+                    (Printf.sprintf "%s: h(%s)=%d exceeds true cost %d" name
+                       (Point3.to_string cell) h tc)
+          done
+        done
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: checked most cells" name)
+        true (!checked > 40))
+    arenas
+
+(* Regression for the historical off-by-one: the budget aborts after exactly
+   [max_expansions] genuine expansions — stale and terminal pops are not
+   counted, and a start that is already a goal costs zero expansions. *)
+let test_expansion_budget () =
+  let corridor () = Search.make ~lo:(p 0 0 0) ~hi:(p 8 1 1) in
+  let region = Cuboid.make (p 0 0 0) (p 8 1 1) in
+  let t = corridor () in
+  let path =
+    Search.run ~exact:true t ~region ~starts:[ p 0 0 0 ] ~goals:[ p 7 0 0 ]
+      ~target:(p 7 0 0)
+  in
+  Alcotest.(check bool) "corridor routes" true (path <> None);
+  Alcotest.(check int) "corridor expands each interior cell once" 7
+    (Search.expansions t);
+  (* Budget one below the requirement: abort, with the counter stopping at
+     exactly the budget. *)
+  let t = corridor () in
+  let path =
+    Search.run ~exact:true ~max_expansions:6 t ~region ~starts:[ p 0 0 0 ]
+      ~goals:[ p 7 0 0 ] ~target:(p 7 0 0)
+  in
+  Alcotest.(check bool) "under budget fails" true (path = None);
+  Alcotest.(check int) "aborts at exactly the budget" 6 (Search.expansions t);
+  (* Budget exactly at the requirement succeeds: the goal pop is terminal and
+     must not burn budget. *)
+  let t = corridor () in
+  let path =
+    Search.run ~exact:true ~max_expansions:7 t ~region ~starts:[ p 0 0 0 ]
+      ~goals:[ p 7 0 0 ] ~target:(p 7 0 0)
+  in
+  Alcotest.(check bool) "exact budget routes" true (path <> None);
+  Alcotest.(check int) "exact budget expansions" 7 (Search.expansions t);
+  (* A start that is already a goal needs no expansions at all. *)
+  let t = corridor () in
+  let path =
+    Search.run ~exact:true ~max_expansions:0 t ~region ~starts:[ p 3 0 0 ]
+      ~goals:[ p 3 0 0 ] ~target:(p 3 0 0)
+  in
+  Alcotest.(check bool) "trivial route with zero budget" true (path <> None);
+  Alcotest.(check int) "zero expansions" 0 (Search.expansions t);
+  (* Zero budget on a non-trivial search expands nothing and fails. *)
+  let t = corridor () in
+  let path =
+    Search.run ~exact:true ~max_expansions:0 t ~region ~starts:[ p 0 0 0 ]
+      ~goals:[ p 7 0 0 ] ~target:(p 7 0 0)
+  in
+  Alcotest.(check bool) "zero budget fails" true (path = None);
+  Alcotest.(check int) "zero budget zero expansions" 0 (Search.expansions t)
+
+let test_astar_bench_kernels_agree () =
+  let icm =
+    Tqec_icm.Icm.of_circuit
+      (Circuit.make ~name:"t" ~num_qubits:3 gates_small)
+  in
+  let m = Tqec_modular.Modular.of_icm icm in
+  let nets = (Bridge.run m).Bridge.nets in
+  let cl = Tqec_place.Cluster.build m in
+  let placement =
+    Tqec_place.Place25d.place Tqec_place.Place25d.default_config cl nets
+  in
+  let counts kernel =
+    let search, expansions = Router.astar_bench ~kernel Router.default_config placement nets in
+    search ();
+    expansions ()
+  in
+  let ed = counts Router.Dial and er = counts Router.Reference in
+  Alcotest.(check bool) "bench search expands" true (ed > 0);
+  Alcotest.(check int) "kernels expand identically" ed er
+
 let prop_route_random_circuits_valid =
   QCheck.Test.make ~name:"routing validates on random circuits" ~count:8
     QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_bound 4))
@@ -175,4 +380,12 @@ let suites =
         Alcotest.test_case "volume covers placement" `Quick
           test_route_volume_covers_placement;
         Alcotest.test_case "without bridging" `Quick test_route_without_bridging;
-        QCheck_alcotest.to_alcotest prop_route_random_circuits_valid ] ) ]
+        QCheck_alcotest.to_alcotest prop_route_random_circuits_valid ] );
+    ( "route.kernel",
+      [ Alcotest.test_case "dial = reference on pinned arenas" `Quick
+          test_kernel_equivalence;
+        Alcotest.test_case "reference_search alias" `Quick test_reference_search_alias;
+        Alcotest.test_case "exact heuristic admissible" `Quick test_heuristic_admissible;
+        Alcotest.test_case "expansion budget exact" `Quick test_expansion_budget;
+        Alcotest.test_case "astar_bench kernels agree" `Quick
+          test_astar_bench_kernels_agree ] ) ]
