@@ -67,7 +67,7 @@ perf: build
 	  dune exec bench/main.exe -- --json > _build/bench_perf_d1.json
 	TQEC_EFFORT=fast TQEC_BENCH_ONLY=$(PERF_SUBSET) TQEC_DOMAINS=4 \
 	  dune exec bench/main.exe -- --json > _build/bench_perf_d4.json
-	dune exec bin/tqec_perf_check.exe -- BENCH_pr7.json \
+	dune exec bin/tqec_perf_check.exe -- BENCH_pr8.json \
 	  _build/bench_perf_d1.json _build/bench_perf_d4.json
 
 # Stage-cache contract gate: run the perf subset with a fresh on-disk cache

@@ -683,6 +683,12 @@ let json_mode () =
             ("heap_pushes", Json.Int (Flow.stage_counter f "routing" "heap_pushes"));
             ("astar_expansions_per_sec",
              Json.Float (per_sec expansions b.Flow.t_routing));
+            ("total_ripped", Json.Int (Flow.stage_counter f "routing" "nets_ripped"));
+            ("passes", Json.Int (Flow.stage_counter f "routing" "ripup_passes"));
+            ("spliced_reroutes",
+             Json.Int (Flow.stage_counter f "routing" "spliced_reroutes"));
+            ("bidir_searches",
+             Json.Int (Flow.stage_counter f "routing" "bidir_searches"));
             ("cold_cache_misses", Json.Int c.cold_misses);
             ("cache_hits", Json.Int c.warm_hits);
             ("cache_misses", Json.Int c.warm_misses);
@@ -696,7 +702,7 @@ let json_mode () =
   print_endline
     (Json.to_string ~pretty:true
        (Json.Obj
-          [ ("schema_version", Json.Int 4);
+          [ ("schema_version", Json.Int 5);
             ("effort", Json.String (effort_name ()));
             ("seed", Json.Int seed);
             ("cache", Json.Bool (Option.is_some cache_store));

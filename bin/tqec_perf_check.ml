@@ -47,6 +47,11 @@ let int_field file name b key =
   | Some (Json.Int v) -> v
   | Some _ | None -> fail "%s: benchmark %s lacks integer field %s" file name key
 
+(* Schema-v5 fields; absent from older baselines, in which case the
+   corresponding gate is skipped. *)
+let opt_int_field b key =
+  match Json.member key b with Some (Json.Int v) -> Some v | _ -> None
+
 let float_field b key =
   match Json.member key b with
   | Some (Json.Float v) -> v
@@ -86,7 +91,30 @@ let check_current ~baseline_file ~baseline ~baseline_domains ~drifted current_fi
                 "tqec_perf_check: EXPANSION REGRESSION on %s (%s, domains=%d): \
                  baseline %d, current %d\n"
                 name current_file domains eb ec
-            end
+            end;
+            (* Total routing work of the negotiation schedule: the rip-up
+               count and the pass count are as deterministic as the volume,
+               and creeping either up is how expansion wins quietly rot —
+               more (cheaper) searches, more passes. Gate both against the
+               baseline when it records them. *)
+            List.iter
+              (fun key ->
+                match (opt_int_field b key, opt_int_field c key) with
+                | Some vb, Some vc when vc > vb ->
+                    incr drifted;
+                    Printf.eprintf
+                      "tqec_perf_check: %s REGRESSION on %s (%s, domains=%d): \
+                       baseline %d, current %d\n"
+                      (String.uppercase_ascii key) name current_file domains vb
+                      vc
+                | Some _, None ->
+                    incr drifted;
+                    Printf.eprintf
+                      "tqec_perf_check: %s missing from %s (benchmark %s) but \
+                       present in the baseline\n"
+                      key current_file name
+                | _ -> ())
+              [ "total_ripped"; "passes" ]
           end;
           let rate key =
             let rb = float_field b key and rc = float_field c key in
@@ -118,7 +146,7 @@ let () =
   if !drifted > 0 then
     fail "%d benchmark gate(s) failed against the baseline" !drifted;
   Printf.printf
-    "tqec_perf_check: %d benchmark(s) match %s (volumes exact, expansions \
-     bounded) across %d run(s)\n"
+    "tqec_perf_check: %d benchmark(s) match %s (volumes exact; expansions, \
+     rip-ups and passes bounded) across %d run(s)\n"
     (List.length baseline) baseline_file
     (List.length current_files)

@@ -209,10 +209,11 @@ module Routing = struct
 
   let name = "routing"
 
-  (* 2: PR7 search-kernel rework — the canonical open-list order (f
-     ascending, FIFO within a key) shifts negotiation tie-breaks, so cached
-     routings from version 1 are not reproducible by the current code. *)
-  let version = "2"
+  (* 3: PR8 negotiation-schedule overhaul — incremental conflict-local
+     splice repairs, adaptive pass budgets and streak-scaled region growth
+     change routed paths, so cached routings from earlier versions are not
+     reproducible by the current code (2: PR7 search-kernel rework). *)
+  let version = "3"
 
   let key { config; placement; nets; pool = _ } =
     let cluster = placement.Place25d.cluster in

@@ -38,7 +38,11 @@ let clear t =
   t.generation <- t.generation + 1;
   t.cur <- 0;
   t.hi <- 0;
-  t.len <- 0
+  t.len <- 0;
+  (* A cleared queue is indistinguishable from a fresh one: a client reading
+     [last_key] between generations (the bidirectional kernel interleaves two
+     queues) must see the pre-first-pop sentinel, not a stale key. *)
+  t.last <- min_int
 
 let ensure_key t key =
   let cap = Array.length t.buckets in
@@ -107,4 +111,13 @@ let peek t =
     t.cur <- !k;
     let b = t.buckets.(!k) in
     Some (!k, b.data.(b.head))
+  end
+
+let peek_key t =
+  if t.len = 0 then max_int
+  else begin
+    let k = ref t.cur in
+    while not (live t (Array.unsafe_get t.buckets !k)) do incr k done;
+    t.cur <- !k;
+    !k
   end

@@ -35,13 +35,21 @@ val pop : t -> (int * int) option
 val peek : t -> (int * int) option
 (** Like {!pop} without removing. *)
 
+val peek_key : t -> int
+(** Allocation-free minimum key, or [max_int] when empty — the sentinel
+    orders an empty queue after any live one, which is exactly what the
+    bidirectional kernel's smaller-frontier-first alternation wants. Advances
+    the scan finger like {!pop_min} but removes nothing. *)
+
 val pop_min : t -> int
 (** Allocation-free {!pop}: the value alone, or [min_int] when empty (so
     clients storing [min_int] as a value must use {!pop} instead). The
     removed entry's key is readable via {!last_key} until the next pop. *)
 
 val last_key : t -> int
-(** Key of the most recent {!pop}/{!pop_min}; [min_int] before the first. *)
+(** Key of the most recent {!pop}/{!pop_min}; [min_int] before the first pop
+    of the current generation ({!clear} resets it along with the queue). *)
 
 val clear : t -> unit
-(** O(1); the next generation reuses the allocated buckets. *)
+(** O(1); the next generation reuses the allocated buckets. Resets
+    {!last_key} to its pre-first-pop sentinel. *)

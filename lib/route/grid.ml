@@ -48,6 +48,8 @@ let blocked t p = (not (in_bounds t p)) || Bytes.get t.cells (index t p) = '\001
 
 let bounds t = (t.lo, t.hi)
 
+let box t = Cuboid.make t.lo t.hi
+
 let extents t = (t.nx, t.ny, t.nz)
 
 let origin t = t.lo

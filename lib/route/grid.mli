@@ -24,6 +24,10 @@ val blocked : t -> Tqec_geom.Point3.t -> bool
 
 val bounds : t -> Tqec_geom.Point3.t * Tqec_geom.Point3.t
 
+val box : t -> Tqec_geom.Cuboid.t
+(** The grid's half-open bounding cuboid [\[lo, hi)] — the universe every
+    search region is clipped against. *)
+
 val size : t -> int
 (** Total number of cells. *)
 

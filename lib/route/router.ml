@@ -16,6 +16,8 @@ type config = {
   sky : int;
   friend_aware : bool;
   max_expansions : int;
+  splice : bool;
+  splice_margin : int;
 }
 
 let default_config =
@@ -25,7 +27,9 @@ let default_config =
     history_increment = 3.0;
     sky = 6;
     friend_aware = true;
-    max_expansions = 100_000 }
+    max_expansions = 100_000;
+    splice = true;
+    splice_margin = 4 }
 
 type routed_net = { net : Bridge.net; path : Point3.t list }
 
@@ -80,6 +84,15 @@ type workspace = {
   mutable rcost : iarr;       (* per-cell quantized step surcharge ... *)
   mutable rcstamp : iarr;     (* ... computed at most once per search *)
   dialq : Dialq.t;            (* bucketed open list keyed on f *)
+  (* Bidirectional-kernel scratch: the backward frontier mirrors the forward
+     one (own g/f/parent/stamp plus a second Dial queue); [rstamp]/[rbstamp]
+     double as the meet detector — a cell stamped by both frontiers in the
+     same generation closes the search. *)
+  mutable rbg : iarr;         (* backward g-score *)
+  mutable rbf : iarr;         (* backward f at push time *)
+  mutable rbparent : iarr;    (* backward predecessor, -1 for the goal seed *)
+  mutable rbstamp : iarr;     (* backward generation marker *)
+  dialq_b : Dialq.t;          (* backward open list *)
   (* Reference-kernel scratch (the PR 6 shape): grid-indexed arrays and a
      comparison heap. Exercised only under TQEC_ROUTE_REFERENCE=1, the
      [Reference] bench variant and the differential tests. *)
@@ -92,6 +105,7 @@ type workspace = {
   mutable generation : int;
   mutable n_expansions : int; (* A* nodes expanded, across all searches *)
   mutable n_pushes : int;     (* open-list pushes, across all searches *)
+  mutable n_bidir : int;      (* bidirectional searches run *)
 }
 
 let make_workspace grid =
@@ -108,6 +122,11 @@ let make_workspace grid =
     rcost = iarr_make 0;
     rcstamp = iarr_make 0;
     dialq = Dialq.create ();
+    rbg = iarr_make 0;
+    rbf = iarr_make 0;
+    rbparent = iarr_make 0;
+    rbstamp = iarr_make 0;
+    dialq_b = Dialq.create ();
     g_score = Array.make n 0;
     stamp = Array.make n 0;
     parent = Array.make n (-1);
@@ -116,7 +135,8 @@ let make_workspace grid =
     heap = Binheap.create ();
     generation = 0;
     n_expansions = 0;
-    n_pushes = 0 }
+    n_pushes = 0;
+    n_bidir = 0 }
 
 (* Per-domain speculative search scratch: shares [grid] and the [history]
    array physically with the parent workspace (both are only written between
@@ -137,6 +157,11 @@ let clone_workspace ws =
     rcost = iarr_make 0;
     rcstamp = iarr_make 0;
     dialq = Dialq.create ();
+    rbg = iarr_make 0;
+    rbf = iarr_make 0;
+    rbparent = iarr_make 0;
+    rbstamp = iarr_make 0;
+    dialq_b = Dialq.create ();
     g_score = Array.make n 0;
     stamp = Array.make n 0;
     parent = Array.make n (-1);
@@ -145,7 +170,8 @@ let clone_workspace ws =
     heap = Binheap.create ();
     generation = 0;
     n_expansions = 0;
-    n_pushes = 0 }
+    n_pushes = 0;
+    n_bidir = 0 }
 
 let ensure_rcap ws n =
   if n > ws.rcap then begin
@@ -158,6 +184,10 @@ let ensure_rcap ws n =
     ws.rstart <- iarr_zero cap;
     ws.rcost <- iarr_make cap;
     ws.rcstamp <- iarr_zero cap;
+    ws.rbg <- iarr_make cap;
+    ws.rbf <- iarr_make cap;
+    ws.rbparent <- iarr_make cap;
+    ws.rbstamp <- iarr_zero cap;
     ws.rcap <- cap
   end
 
@@ -506,6 +536,266 @@ let search_reference ws ~max_expansions ~present_penalty ~exact ~occ ~region
         Some (back !found [])
       end
 
+(* Bidirectional variant of the Dial kernel: meet-in-the-middle between a
+   frontier growing from [start] toward [goal] and one growing from [goal]
+   toward [start], each a weighted A* with the history-aware heuristic aimed
+   at the opposite terminal. Alternation always advances the frontier whose
+   open list holds the smaller minimum f ({!Dialq.peek_key}); the search
+   closes when a frontier pops a cell the other frontier has already stamped
+   this generation — every stamped cell carries a valid parent chain to its
+   seed, so gluing the two chains at the meet cell yields a connected walk
+   start..goal whose ends are exact and whose middle is near-optimal (the
+   meet cell may be settled in one direction only; corridor repairs trade
+   that slack for roughly halved expansion counts). The walk is
+   loop-erased before returning, so the result is always a simple path.
+
+   Cost model and traversability are exactly the unidirectional kernel's:
+   a step into cell [q] costs [quantum + trunc (quantum * (history q +
+   present_penalty * occ q))], blocked cells are enterable only as [start]
+   or [goal]. The backward frontier accounts the same model from the other
+   side — relaxing neighbor [q] from popped cell [c] charges the cost of
+   entering [c], which is what the forward walker pays when it leaves [q]
+   through [c] — so both frontiers price any shared walk identically. *)
+let search_bidir ws ~max_expansions ~present_penalty ~exact ~occ ~region ~start
+    ~goal =
+  match clip_region ws.grid region with
+  | None -> None
+  | Some (rx0, ry0, rz0, rx1, ry1, rz1) ->
+      let grid = ws.grid in
+      let nx, ny, _ = Grid.extents grid in
+      let o = Grid.origin grid in
+      let ox = o.Point3.x and oy = o.Point3.y and oz = o.Point3.z in
+      ws.generation <- ws.generation + 1;
+      ws.n_bidir <- ws.n_bidir + 1;
+      let gen = ws.generation in
+      let rnx = rx1 - rx0 and rny = ry1 - ry0 and rnz = rz1 - rz0 in
+      let rnxy = rnx * rny in
+      ensure_rcap ws (rnxy * rnz);
+      if rnx > 1024 || rny > 1024 || rnz > 1024 then
+        invalid_arg "Router: search region exceeds 1024 cells on an axis";
+      let rstamp = ws.rstamp and rg = ws.rg and rf = ws.rf in
+      let rparent = ws.rparent in
+      let rbstamp = ws.rbstamp and rbg = ws.rbg and rbf = ws.rbf in
+      let rbparent = ws.rbparent in
+      let rcost = ws.rcost and rcstamp = ws.rcstamp in
+      let q = ws.dialq and qb = ws.dialq_b in
+      Dialq.clear q;
+      Dialq.clear qb;
+      let nxy = nx * ny in
+      let minc =
+        region_min_surcharge ws ~nx ~nxy ~rx0 ~ry0 ~rz0 ~rx1 ~ry1 ~rz1
+      in
+      let u = if exact then quantum + minc else (quantum + minc) * 3 / 2 in
+      let ridx_of p =
+        let x = p.Point3.x - ox and y = p.Point3.y - oy and z = p.Point3.z - oz in
+        if x >= rx0 && x < rx1 && y >= ry0 && y < ry1 && z >= rz0 && z < rz1
+        then x - rx0 + (rnx * (y - ry0 + (rny * (z - rz0))))
+        else -1
+      in
+      let pack_of p =
+        let lx = p.Point3.x - ox - rx0
+        and ly = p.Point3.y - oy - ry0
+        and lz = p.Point3.z - oz - rz0 in
+        let r = lx + (rnx * (ly + (rny * lz))) in
+        (r lsl 30) lor (lz lsl 20) lor (ly lsl 10) lor lx
+      in
+      let sr = ridx_of start and gr = ridx_of goal in
+      if sr < 0 || gr < 0 then None
+      else if sr = gr then Some [ start ]
+      else begin
+        (* Terminal coordinates, region-local: heuristic anchors and the
+           blocked-cell exceptions (the unidirectional kernel's rstart/rgoal
+           marks degenerate to two indices here). *)
+        let sx = start.Point3.x - ox - rx0
+        and sy = start.Point3.y - oy - ry0
+        and sz = start.Point3.z - oz - rz0 in
+        let gx = goal.Point3.x - ox - rx0
+        and gy = goal.Point3.y - oy - ry0
+        and gz = goal.Point3.z - oz - rz0 in
+        let dist = abs (sx - gx) + abs (sy - gy) + abs (sz - gz) in
+        rstamp.{sr} <- gen;
+        rg.{sr} <- 0;
+        rf.{sr} <- u * dist;
+        rparent.{sr} <- -1;
+        Dialq.push q ~key:(u * dist) (pack_of start);
+        rbstamp.{gr} <- gen;
+        rbg.{gr} <- 0;
+        rbf.{gr} <- u * dist;
+        rbparent.{gr} <- -1;
+        Dialq.push qb ~key:(u * dist) (pack_of goal);
+        ws.n_pushes <- ws.n_pushes + 2;
+        let surcharge rq cq =
+          if Bigarray.Array1.unsafe_get rcstamp rq = gen then
+            Bigarray.Array1.unsafe_get rcost rq
+          else begin
+            let e =
+              int_of_float
+                (float_of_int quantum
+                *. (Array.unsafe_get ws.history cq
+                   +. (present_penalty *. float_of_int (Array.unsafe_get occ cq))))
+            in
+            Bigarray.Array1.unsafe_set rcstamp rq gen;
+            Bigarray.Array1.unsafe_set rcost rq e;
+            e
+          end
+        in
+        let traversable rq cq =
+          (not (Grid.blocked_unsafe_c grid cq)) || rq = sr || rq = gr
+        in
+        let found = ref (-1) in
+        let continue_ = ref true in
+        let expansions = ref 0 in
+        while !continue_ do
+          let kf = Dialq.peek_key q and kb = Dialq.peek_key qb in
+          if kf = max_int && kb = max_int then continue_ := false
+          else begin
+            let fwd = kf <= kb in
+            let qd = if fwd then q else qb in
+            let v = Dialq.pop_min qd in
+            let f = Dialq.last_key qd in
+            let r = v lsr 30 in
+            let live =
+              if fwd then
+                Bigarray.Array1.unsafe_get rstamp r = gen
+                && f = Bigarray.Array1.unsafe_get rf r
+              else
+                Bigarray.Array1.unsafe_get rbstamp r = gen
+                && f = Bigarray.Array1.unsafe_get rbf r
+            in
+            if live then begin
+              let met =
+                if fwd then Bigarray.Array1.unsafe_get rbstamp r = gen
+                else Bigarray.Array1.unsafe_get rstamp r = gen
+              in
+              if met then begin
+                found := r;
+                continue_ := false
+              end
+              else if !expansions >= max_expansions then continue_ := false
+              else begin
+                incr expansions;
+                let lx = v land 0x3ff in
+                let ly = (v lsr 10) land 0x3ff
+                and lz = (v lsr 20) land 0x3ff in
+                let x = lx + rx0 and y = ly + ry0 and z = lz + rz0 in
+                let c = (z * nxy) + (y * nx) + x in
+                if fwd then begin
+                  let g = Bigarray.Array1.unsafe_get rg r in
+                  let h = f - g in
+                  let step vq cq dh =
+                    let rq = vq lsr 30 in
+                    if traversable rq cq then begin
+                      let gq = g + quantum + surcharge rq cq in
+                      if
+                        Bigarray.Array1.unsafe_get rstamp rq <> gen
+                        || Bigarray.Array1.unsafe_get rg rq > gq
+                      then begin
+                        let fq = gq + h + dh in
+                        Bigarray.Array1.unsafe_set rstamp rq gen;
+                        Bigarray.Array1.unsafe_set rg rq gq;
+                        Bigarray.Array1.unsafe_set rf rq fq;
+                        Bigarray.Array1.unsafe_set rparent rq r;
+                        ws.n_pushes <- ws.n_pushes + 1;
+                        Dialq.push q ~key:fq vq
+                      end
+                    end
+                  in
+                  let dx = (1 lsl 30) lor 1
+                  and dy = (rnx lsl 30) lor (1 lsl 10)
+                  and dz = (rnxy lsl 30) lor (1 lsl 20) in
+                  if lx + 1 < rnx then step (v + dx) (c + 1) (if lx >= gx then u else -u);
+                  if lx > 0 then step (v - dx) (c - 1) (if lx <= gx then u else -u);
+                  if ly + 1 < rny then step (v + dy) (c + nx) (if ly >= gy then u else -u);
+                  if ly > 0 then step (v - dy) (c - nx) (if ly <= gy then u else -u);
+                  if lz + 1 < rnz then step (v + dz) (c + nxy) (if lz >= gz then u else -u);
+                  if lz > 0 then step (v - dz) (c - nxy) (if lz <= gz then u else -u)
+                end
+                else begin
+                  let g = Bigarray.Array1.unsafe_get rbg r in
+                  let h = f - g in
+                  (* The forward walker leaving a neighbor through this cell
+                     pays for entering it: one surcharge per pop, shared by
+                     all six relaxations. *)
+                  let step_out = quantum + surcharge r c in
+                  let step vq cq dh =
+                    let rq = vq lsr 30 in
+                    if traversable rq cq then begin
+                      let gq = g + step_out in
+                      if
+                        Bigarray.Array1.unsafe_get rbstamp rq <> gen
+                        || Bigarray.Array1.unsafe_get rbg rq > gq
+                      then begin
+                        let fq = gq + h + dh in
+                        Bigarray.Array1.unsafe_set rbstamp rq gen;
+                        Bigarray.Array1.unsafe_set rbg rq gq;
+                        Bigarray.Array1.unsafe_set rbf rq fq;
+                        Bigarray.Array1.unsafe_set rbparent rq r;
+                        ws.n_pushes <- ws.n_pushes + 1;
+                        Dialq.push qb ~key:fq vq
+                      end
+                    end
+                  in
+                  let dx = (1 lsl 30) lor 1
+                  and dy = (rnx lsl 30) lor (1 lsl 10)
+                  and dz = (rnxy lsl 30) lor (1 lsl 20) in
+                  if lx + 1 < rnx then step (v + dx) (c + 1) (if lx >= sx then u else -u);
+                  if lx > 0 then step (v - dx) (c - 1) (if lx <= sx then u else -u);
+                  if ly + 1 < rny then step (v + dy) (c + nx) (if ly >= sy then u else -u);
+                  if ly > 0 then step (v - dy) (c - nx) (if ly <= sy then u else -u);
+                  if lz + 1 < rnz then step (v + dz) (c + nxy) (if lz >= sz then u else -u);
+                  if lz > 0 then step (v - dz) (c - nxy) (if lz <= sz then u else -u)
+                end
+              end
+            end
+          end
+        done;
+        ws.n_expansions <- ws.n_expansions + !expansions;
+        if !found < 0 then None
+        else begin
+          let decode_r r =
+            let lx = r mod rnx in
+            let t = r / rnx in
+            Point3.make (lx + rx0 + ox) ((t mod rny) + ry0 + oy)
+              ((t / rny) + rz0 + oz)
+          in
+          let rec back r acc =
+            let acc = decode_r r :: acc in
+            if rparent.{r} < 0 then acc else back rparent.{r} acc
+          in
+          let rec tail r acc =
+            if r < 0 then acc else tail rbparent.{r} (decode_r r :: acc)
+          in
+          let walk = back !found [] @ List.rev (tail rbparent.{!found} []) in
+          (* The two chains are individually simple but may cross each other;
+             loop-erase so callers can splice the result into committed paths
+             without re-checking simplicity. Truncating back to the first
+             visit of a repeated cell keeps contiguity: the survivor is the
+             repeated cell itself, adjacent to the next walk cell. *)
+          let seen = Hashtbl.create 64 in
+          let kept = ref [] in
+          let len = ref 0 in
+          List.iter
+            (fun p ->
+              let cp = Grid.encode grid p in
+              match Hashtbl.find_opt seen cp with
+              | Some k ->
+                  while !len > k + 1 do
+                    (match !kept with
+                    | pk :: tl ->
+                        Hashtbl.remove seen (Grid.encode grid pk);
+                        kept := tl;
+                        decr len
+                    | [] -> assert false)
+                  done
+              | None ->
+                  Hashtbl.add seen cp !len;
+                  kept := p :: !kept;
+                  incr len)
+            walk;
+          Some (List.rev !kept)
+        end
+      end
+
 let search_kernel = function Dial -> search_dial | Reference -> search_reference
 
 (* Kernel selection for [route]: the canonical Dial kernel unless
@@ -692,17 +982,52 @@ let init_state ?(restrict_regions = true) ?kernel config placement nets =
   let search =
     search_kernel (match kernel with Some k -> k | None -> env_kernel ())
   in
-  let attempt ~ws ~extra ~present_penalty n =
+  let attempt ?(max_expansions = config.max_expansions) ?focus ?clamp
+      ?(bidir = false) ~ws ~extra ~present_penalty n =
     let pa = pin_pos n.Bridge.pin_a and pb = pin_pos n.Bridge.pin_b in
-    let region = region_of ~extra n in
+    let region =
+      (* [focus] localizes region growth: instead of inflating the whole
+         pin bounding box for a repeatedly ripped net, the caller passes
+         the inflated neighbourhood of the net's latest conflict window
+         and the search widens only there. [clamp] goes the other way — it
+         caps the region to a caller-proven corridor (both terminals must
+         lie inside it); the cap only applies while it actually intersects
+         the grown region, so failure-driven growth still wins in the
+         limit. *)
+      let base = region_of ~extra n in
+      let widened =
+        match focus with
+        | None -> base
+        | Some box -> (
+            match Cuboid.intersect (Cuboid.union base box) grid_box with
+            | Some r -> r
+            | None -> base)
+      in
+      match clamp with
+      | None -> widened
+      | Some box -> (
+          match Cuboid.intersect widened box with
+          | Some r -> r
+          | None -> widened)
+    in
     let starts = pa :: friend_cells st ~config ~region n.Bridge.pin_a in
     let goals = pb :: friend_cells st ~config ~region n.Bridge.pin_b in
-    match
-      search ws ~max_expansions:config.max_expansions ~present_penalty
-        ~exact:false ~occ:st.occ ~region ~starts ~goals ~target:pb
-    with
-    | Some path -> Some { net = n; path }
-    | None -> None
+    let result =
+      match (starts, goals) with
+      | [ start ], [ goal ] when bidir ->
+          (* First-pass searches on the lightly occupied grid take the
+             meet-in-the-middle kernel when the net has two lone terminals
+             (no friend cells yet). In congested later passes the two
+             frontiers struggle to meet and unidirectional search with the
+             history-aware heuristic wins, so [bidir] is only requested for
+             pass 1. *)
+          search_bidir ws ~max_expansions ~present_penalty ~exact:false
+            ~occ:st.occ ~region ~start ~goal
+      | _ ->
+          search ws ~max_expansions ~present_penalty ~exact:false ~occ:st.occ
+            ~region ~starts ~goals ~target:pb
+    in
+    match result with Some path -> Some { net = n; path } | None -> None
   in
   (st, mouth_owner, pin_pos, region_of, attempt)
 
@@ -755,7 +1080,15 @@ let route ?(trace = Trace.noop) ?pool ?restrict_regions config placement nets =
   let rip_streak = Hashtbl.create 16 in
   let streak id = Option.value ~default:0 (Hashtbl.find_opt rip_streak id) in
   let starvation_threshold = 3 in
-  let conflicted_nets () =
+  (* Nets whose committed path came from a whole-grid search. Such a path
+     was the product of the single most expensive search the schedule can
+     buy; ripping it invites the net to re-flood the grid on its next turn
+     (measured: one net re-ran four whole-grid floods across consecutive
+     passes, each ~100-300k expansions). Arbitration therefore prefers to
+     keep these nets — below pin mouths (immovable) but above age — so the
+     flood is paid for once. *)
+  let lastrite_won : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let conflicted_nets ?record () =
     let victims = Hashtbl.create 16 in
     (Hashtbl.iter
       (fun cell owners ->
@@ -782,7 +1115,25 @@ let route ?(trace = Trace.noop) ?pool ?restrict_regions config placement nets =
               let keep =
                 match List.filter (fun id -> List.mem id mouth_ids) interior with
                 | k :: _ -> Some k
-                | [] ->
+                | [] -> (
+                  match
+                    List.filter (fun id -> Hashtbl.mem lastrite_won id) interior
+                  with
+                  | [ k ] -> Some k
+                  | ks -> (
+                    (* Several whole-grid survivors on one cell: the earliest
+                       committed keeps its flood's worth. *)
+                    match
+                      List.fold_left
+                        (fun best id ->
+                          let s = Hashtbl.find commit_seq id in
+                          match best with
+                          | Some (bs, _) when bs <= s -> best
+                          | _ -> Some (s, id))
+                        None ks
+                    with
+                    | Some (_, k) -> Some k
+                    | None ->
                     (* Highest rip streak at or past the starvation threshold
                        wins; ties and the unstarved case fall back to the
                        earliest-committed net. *)
@@ -810,18 +1161,24 @@ let route ?(trace = Trace.noop) ?pool ?restrict_regions config placement nets =
                             | Some (bs, _) when bs <= s -> best
                             | _ -> Some (s, id))
                           None interior
-                        |> Option.map snd)
+                        |> Option.map snd)))
               in
               let kept id = match keep with Some k -> k = id | None -> false in
               List.iter
-                (fun id -> if not (kept id) then Hashtbl.replace victims id ())
+                (fun id ->
+                  if not (kept id) then begin
+                    Hashtbl.replace victims id ();
+                    match record with None -> () | Some f -> f id cell
+                  end)
                 interior
         end)
       st.cell_owner)
     [@tqec.allow
       "hashtbl-unsorted: order-insensitive — each cell's arbitration looks \
        only at that cell's owners, history increments add the same constant \
-       (commutative), and the victim set is sorted before use below"];
+       (commutative), recorded conflict cells form per-victim SETS (queried \
+       for membership and bounding box only), and the victim set is sorted \
+       before use below"];
     (* The victim SET is fixed before any rip-up and is order-independent
        (per-cell arbitration; cascades are idempotent). The LIST order below
        feeds the next pass's stable sort as its tie-break, so it is pinned
@@ -840,32 +1197,420 @@ let route ?(trace = Trace.noop) ?pool ?restrict_regions config placement nets =
   let pending = ref sorted in
   let extra = Hashtbl.create 64 in
   let get_extra n = Option.value ~default:0 (Hashtbl.find_opt extra n.Bridge.net_id) in
+  (* Consecutive search failures (no path found / budget exhausted), cleared
+     on commit. A net with a live fail streak is exempt from the adaptive
+     pass budget below: capping it again could starve it forever, and its
+     grown region means the search is paid in full either way. *)
+  let fail_streak : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let get_fail_streak id = Option.value ~default:0 (Hashtbl.find_opt fail_streak id) in
+  (* ---------------- incremental conflict-local re-routing ------------- *)
+  (* When a net loses arbitration, its path is usually invalidated only
+     inside a small conflict window. Remember the old path and the cells it
+     actually lost on; next pass the net first repairs just that window — a
+     bidirectional corridor search between the surviving prefix and suffix,
+     spliced back onto them — and falls back to the full regional search
+     when the window spans the whole path, an endpoint anchor died with
+     another rip, the corridor yields nothing, or the repaired segment
+     touches the kept cells. Only direct arbitration victims are
+     candidates: cascade-ripped dependents lost their friend terminal, not
+     a path segment, and their surviving prefix would dangle. Candidates
+     are captured between passes and every repair reads only the frozen
+     pre-pass state, so speculative domains and the sequential schedule
+     compute identical results for any domain count. *)
+  let splice_info : (int, Point3.t array * (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (* For nets whose current committed path came from a splice: the repaired
+     segment's cells. A repair that is ripped again ON ITS OWN REPAIR has
+     proven the conflict is not local — splicing there again would cycle
+     the same corridor (cheap present-sharing now, mounting history forever)
+     — so such a net escalates to the full regional search; a conflict
+     elsewhere on the path is an unrelated incident and may be repaired
+     locally. Written only at commit time (the sequential phase), so
+     speculative attempts of a pass read a frozen view of their own net's
+     entry for any domain count. *)
+  let last_splice_cells : (int, (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let reference_mode =
+    match env_kernel () with Reference -> true | Dial -> false
+  in
+  let spliced_reroutes = ref 0 in
+  let grid_box = Grid.box st.base in
+  (* Reference-mode referee for splice repairs: the structural invariants a
+     repair shares with any valid routing — axis-contiguity and simplicity —
+     checked on the spliced path and, when it succeeds, on the full
+     re-search the splice replaced (equivalence of validity). Violations
+     raise: differential mode exists to crash loudly, never to alter the
+     routed outcome. *)
+  let audit_splice ~what (n : Bridge.net) path =
+    let rec contiguous = function
+      | a :: (b :: _ as rest) -> Point3.manhattan a b = 1 && contiguous rest
+      | [ _ ] | [] -> true
+    in
+    if not (contiguous path) then
+      failwith
+        (Printf.sprintf "Router: %s of net %d is not axis-connected" what
+           n.Bridge.net_id);
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun p ->
+        let c = Grid.encode st.ws.grid p in
+        if Hashtbl.mem seen c then
+          failwith
+            (Printf.sprintf "Router: %s of net %d revisits a cell" what
+               n.Bridge.net_id);
+        Hashtbl.add seen c ())
+      path
+  in
+  let try_splice ~ws ~budget ~present_penalty n =
+    (* Streak gate: a net that has lost arbitration twice in a row is
+       cycling — its conflict window is the cheapest corridor even at
+       mounting history cost — so escalate to the full regional search
+       (whose region growth finds genuine detours) instead of splicing the
+       same contested cells back in until the pass budget dies. *)
+    if (not config.splice) || streak n.Bridge.net_id >= 2 then None
+    else
+      match Hashtbl.find_opt splice_info n.Bridge.net_id with
+      | None -> None
+      | Some (pa, cells) ->
+          let len = Array.length pa in
+          let cycling =
+            match Hashtbl.find_opt last_splice_cells n.Bridge.net_id with
+            | None -> false
+            | Some prev ->
+                (Hashtbl.fold (fun c () hit -> hit || Hashtbl.mem prev c) cells
+                   false
+                 [@tqec.allow
+                   "hashtbl-unsorted: order-insensitive — boolean OR of a \
+                    membership test over the cell set is commutative and \
+                    associative, so the fold order cannot change the result"])
+          in
+          if cycling || len < 3 then None
+          else begin
+            (* Conflict window in old-path indices, padded by the splice
+               margin so the repair rejoins smoothly. *)
+            let i0 = ref max_int and i1 = ref (-1) in
+            Array.iteri
+              (fun i p ->
+                if Hashtbl.mem cells (Grid.encode st.ws.grid p) then begin
+                  if i < !i0 then i0 := i;
+                  if i > !i1 then i1 := i
+                end)
+              pa;
+            if !i1 < 0 then None
+            else begin
+              let j0 = max 0 (!i0 - config.splice_margin)
+              and j1 = min (len - 1) (!i1 + config.splice_margin) in
+              if j0 = 0 && j1 = len - 1 then None
+              else begin
+                (* The kept ends must still be anchored: a path endpoint is
+                   either the net's own pin or a *friend* terminal — a cell
+                   currently owned by a net sharing the pin — on a path that
+                   survived this rip phase. Ownership by an arbitrary net is
+                   NOT an anchor: during negotiation unrelated paths overlap
+                   freely (overuse is penalized, not forbidden), so a cell
+                   whose friend owner was ripped may still be owned by a
+                   stranger, and splicing onto it commits a path that
+                   connects the pin to nothing in its own group — a
+                   disconnected net the geometry oracle rejects. *)
+                let anchored_for pin p =
+                  Point3.equal p (pin_pos pin)
+                  || (match
+                        Hashtbl.find_opt st.cell_owner
+                          (Grid.encode st.ws.grid p)
+                      with
+                     | None -> false
+                     | Some owners -> (
+                       match Hashtbl.find_opt st.pin_nets pin with
+                       | None -> false
+                       | Some ids ->
+                           List.exists
+                             (fun id ->
+                               id <> n.Bridge.net_id && List.mem id owners)
+                             ids))
+                in
+                let ok_fwd =
+                  anchored_for n.Bridge.pin_a pa.(0)
+                  && anchored_for n.Bridge.pin_b pa.(len - 1)
+                and ok_rev =
+                  anchored_for n.Bridge.pin_b pa.(0)
+                  && anchored_for n.Bridge.pin_a pa.(len - 1)
+                in
+                if not (ok_fwd || ok_rev) then None
+                else begin
+                  let a = pa.(j0) and b = pa.(j1) in
+                  (* Corridor: the cut segment's bounding box, inflated by
+                     the region margin plus a rip-streak-scaled step — a
+                     repeatedly ripped net needs room for a real detour. *)
+                  let seg_box =
+                    ref (Cuboid.of_origin_size a ~w:1 ~h:1 ~d:1)
+                  in
+                  for i = j0 + 1 to j1 do
+                    seg_box :=
+                      Cuboid.union !seg_box
+                        (Cuboid.of_origin_size pa.(i) ~w:1 ~h:1 ~d:1)
+                  done;
+                  let infl =
+                    config.region_margin
+                    + config.region_expand
+                      * min 3 (max 0 (streak n.Bridge.net_id - 1))
+                  in
+                  let corridor =
+                    match
+                      Cuboid.intersect (Cuboid.inflate !seg_box infl) grid_box
+                    with
+                    | Some r -> r
+                    | None -> grid_box
+                  in
+                  match
+                    search_bidir ws ~max_expansions:budget ~present_penalty
+                      ~exact:false ~occ:st.occ ~region:corridor ~start:a
+                      ~goal:b
+                  with
+                  | None -> None
+                  | Some seg ->
+                      (* The repaired segment must not touch the kept cells,
+                         or the spliced path would self-intersect. *)
+                      let kept = Hashtbl.create (max 16 (len - (j1 - j0))) in
+                      for i = 0 to j0 - 1 do
+                        Hashtbl.replace kept (Grid.encode st.ws.grid pa.(i)) ()
+                      done;
+                      for i = j1 + 1 to len - 1 do
+                        Hashtbl.replace kept (Grid.encode st.ws.grid pa.(i)) ()
+                      done;
+                      if
+                        List.exists
+                          (fun p ->
+                            Hashtbl.mem kept (Grid.encode st.ws.grid p))
+                          seg
+                      then None
+                      else begin
+                        let tail = ref [] in
+                        for i = len - 1 downto j1 + 1 do
+                          tail := pa.(i) :: !tail
+                        done;
+                        let full = ref (seg @ !tail) in
+                        for i = j0 - 1 downto 0 do
+                          full := pa.(i) :: !full
+                        done;
+                        Some ({ net = n; path = !full }, seg)
+                      end
+                end
+              end
+            end
+          end
+  in
+  (* One net's routing step: corridor repair first, full regional search as
+     fallback and — under TQEC_ROUTE_REFERENCE=1 — as the referee a
+     successful repair is audited against. Returns the routing plus whether
+     it was spliced. *)
+  (* Streak-scaled focus box for a ripped net's full re-search: the latest
+     conflict window's bounding box, inflated one region step per rip on the
+     current streak (capped to match {!dirty_region}'s cover). First rips
+     stay local; repeat offenders get room exactly where the fight is,
+     instead of a blanket inflation of the whole pin bounding box. *)
+  let focus_of n =
+    match Hashtbl.find_opt splice_info n.Bridge.net_id with
+    | None -> None
+    | Some _ when streak n.Bridge.net_id < 2 -> None
+    | Some (pa, cells) ->
+        let box = ref None in
+        Array.iter
+          (fun p ->
+            if Hashtbl.mem cells (Grid.encode st.ws.grid p) then
+              let c = Cuboid.of_origin_size p ~w:1 ~h:1 ~d:1 in
+              box :=
+                Some (match !box with None -> c | Some b -> Cuboid.union b c))
+          pa;
+        Option.map
+          (fun b ->
+            let infl =
+              config.region_margin
+              + (config.region_expand * min 3 (streak n.Bridge.net_id))
+            in
+            Cuboid.inflate b infl)
+          !box
+  in
+  (* Corridor clamp for a streak-gated full re-search: the ripped net's old
+     path is a constructive proof that its terminals connect inside the old
+     path's neighbourhood, so the full search it is escalated to (the
+     [try_splice] streak gate forbids another splice) explores a corridor
+     around that proof — old-path bounding box plus both pins, inflated one
+     region step per rip on the streak — instead of the pin box grown by
+     accumulated [extra], which a few triple growth steps inflate to the
+     whole grid. First failure drops the clamp (fail_streak > 0): a net
+     whose detour genuinely leaves the corridor re-floods the full grown
+     region next pass, so the give-up ladder is untouched. *)
+  let clamp_of n =
+    if get_fail_streak n.Bridge.net_id > 0 then None
+    else
+      match Hashtbl.find_opt splice_info n.Bridge.net_id with
+      | None -> None
+      | Some _ when streak n.Bridge.net_id < 2 -> None
+      | Some (pa, _) ->
+          let box = ref (Cuboid.of_origin_size pa.(0) ~w:1 ~h:1 ~d:1) in
+          Array.iter
+            (fun p ->
+              box := Cuboid.union !box (Cuboid.of_origin_size p ~w:1 ~h:1 ~d:1))
+            pa;
+          let ta = pin_pos n.Bridge.pin_a and tb = pin_pos n.Bridge.pin_b in
+          let b =
+            Cuboid.union !box
+              (Cuboid.union
+                 (Cuboid.of_origin_size ta ~w:1 ~h:1 ~d:1)
+                 (Cuboid.of_origin_size tb ~w:1 ~h:1 ~d:1))
+          in
+          let infl =
+            config.region_margin
+            + (config.region_expand * min 3 (streak n.Bridge.net_id))
+          in
+          Some (Cuboid.inflate b infl)
+  in
+  let attempt_incremental ~ws ~budget ~extra ~present_penalty ?(bidir = false) n =
+    match try_splice ~ws ~budget ~present_penalty n with
+    | Some (rn, seg) ->
+        if reference_mode then begin
+          audit_splice ~what:"spliced repair" n rn.path;
+          match
+            attempt ~max_expansions:budget ?focus:(focus_of n)
+              ?clamp:(clamp_of n) ~ws ~extra ~present_penalty n
+          with
+          | Some full -> audit_splice ~what:"full re-search" n full.path
+          | None -> ()
+        end;
+        Some (rn, Some seg)
+    | None -> (
+        match
+          attempt ~max_expansions:budget ?focus:(focus_of n)
+            ?clamp:(clamp_of n) ~bidir ~ws ~extra ~present_penalty n
+        with
+        | Some rn -> Some (rn, None)
+        | None -> None)
+  in
+  (* Speculation dirty-test region: a splice candidate additionally reads
+     occupancy and anchors along its old path and searches a corridor
+     inflated from a window of it — cover the whole path at the maximum
+     corridor inflation (conservative: a hit only re-runs the net against
+     live state). *)
+  let dirty_region n =
+    let base = region_of ~extra:(get_extra n) n in
+    match Hashtbl.find_opt splice_info n.Bridge.net_id with
+    | None -> base
+    | Some (pa, _) ->
+        let infl = config.region_margin + (config.region_expand * 3) in
+        let pb = ref (Cuboid.of_origin_size pa.(0) ~w:1 ~h:1 ~d:1) in
+        Array.iter
+          (fun p ->
+            pb := Cuboid.union !pb (Cuboid.of_origin_size p ~w:1 ~h:1 ~d:1))
+          pa;
+        Cuboid.union base (Cuboid.inflate !pb infl)
+  in
   let iter = ref 0 in
   let debug = Sys.getenv_opt "TQEC_ROUTE_DEBUG" <> None in
   let total_ripped = ref 0 in
+  let abandoned = ref [] in
+  let grid_cells = Cuboid.volume (Grid.box st.ws.grid) in
   while !pending <> [] && !iter < config.max_iterations do
     incr iter;
     iterations_used := !iter;
     if debug then
       Printf.eprintf "debug: pass %d, %d pending\n%!" !iter (List.length !pending);
-    let pass_span = Trace.span trace (Printf.sprintf "pass_%d" !iter) in
+    (* Span labels only exist when tracing is live: the sprintf otherwise
+       allocated a fresh label per pass just to hand it to the noop sink. *)
+    let pass_span =
+      if Trace.enabled trace then Trace.span trace (Printf.sprintf "pass_%d" !iter)
+      else Trace.noop
+    in
     let attempted = List.length !pending in
+    let exp_before =
+      ws.n_expansions
+      + Array.fold_left (fun a c -> a + c.n_expansions) 0 clones
+    in
     (* Present-sharing penalty doubles each pass (PathFinder schedule). *)
-    let present_penalty = min 64.0 (2.0 ** float_of_int (!iter + 1)) in
+    let present_penalty = min 24.0 (2.0 ** float_of_int (!iter + 1)) in
+    (* Adaptive per-net expansion budget, tightening with the penalty
+       schedule — but only for nets that burned a full budget without
+       finding a path last pass. A healthy net keeps the full budget:
+       truncating a search that would have succeeded converts it into a
+       failure, a region doubling, and an even larger search next pass. A
+       net that just search-failed, by contrast, is flooding a
+       neighbourhood it has already proven exhausted; its doubled region
+       is retried at the decaying budget, and by the time the present
+       penalty has saturated such searches are nearly pure waste (floor: a
+       sixteenth of the configured budget — failing nets keep growing
+       their region and retrying until the give-up rule below parks
+       them). *)
+    let pass_budget =
+      if !iter <= 3 then config.max_expansions
+      else
+        max (config.max_expansions / 16)
+          (config.max_expansions lsr (!iter - 3))
+    in
+    let last_rite (n : Bridge.net) =
+      region_of ~extra:(get_extra n) n = Grid.box st.ws.grid
+    in
+    let net_budget (n : Bridge.net) =
+      if last_rite n && get_fail_streak n.Bridge.net_id < 2 then
+        (* True last rite: the net failed its previous search and the
+           region has escalated to the whole grid, so the give-up rule
+           below parks it if this search fails too. On grids larger than
+           the configured per-search budget a whole-grid flood cannot even
+           visit every cell at [max_expansions], so the verdict would be
+           meaningless; grant one exhaustive flood (2x grid cells absorbs
+           weighted-A* re-expansions) so a parked net is provably
+           unroutable under the current layout. Whole-grid regions with no
+           failure streak are routine on small grids (a few rip-up growth
+           steps cover them) and keep the ordinary budget — a budget only
+           changes the bill for searches that fail, and charging routine
+           failures an exhaustive flood was measured at ~+1M expansions on
+           4gt4 for zero routed nets. *)
+        max config.max_expansions (2 * grid_cells)
+      else if get_fail_streak n.Bridge.net_id >= 1 then pass_budget
+      else config.max_expansions
+    in
     let unrouted = ref [] in
-    let on_committed n rn =
+    let on_committed n (rn, spliced) =
       commit st rn;
+      (if spliced = None && last_rite n then
+         Hashtbl.replace lastrite_won n.Bridge.net_id ());
+      (match spliced with
+      | Some seg ->
+          incr spliced_reroutes;
+          let cells = Hashtbl.create (2 * List.length seg) in
+          List.iter
+            (fun p -> Hashtbl.replace cells (Grid.encode st.ws.grid p) ())
+            seg;
+          Hashtbl.replace last_splice_cells n.Bridge.net_id cells
+      | None -> Hashtbl.remove last_splice_cells n.Bridge.net_id);
+      Hashtbl.remove fail_streak n.Bridge.net_id;
       Hashtbl.replace commit_seq n.Bridge.net_id !seq;
       incr seq
     in
     let on_failed n =
+      (* The region the search that just failed actually covered — the
+         give-up decision below must judge that search, not the grown one
+         scheduled next. *)
+      let failed_region = region_of ~extra:(get_extra n) n in
       (* Geometric region growth: a failed search over a region is paid
          in full, so take big steps toward the whole grid. *)
       Hashtbl.replace extra n.Bridge.net_id
         (max config.region_expand (2 * get_extra n));
+      let s = get_fail_streak n.Bridge.net_id + 1 in
+      Hashtbl.replace fail_streak n.Bridge.net_id s;
       if debug && !iter >= config.max_iterations - 1 then
         Printf.eprintf "debug: net %d UNROUTED (extra %d)\n%!" n.Bridge.net_id (get_extra n);
-      unrouted := n :: !unrouted
+      (* Give-up rule: a search that failed over a region already spanning
+         the whole grid — at the exhaustive last-resort budget [net_budget]
+         grants such searches — has exhausted every reachable cell under
+         the current layout; re-flooding the grid each remaining pass
+         almost never changes the answer, only the bill. Park the net among
+         the failures. (Failed nets never commit, so abandoning one
+         perturbs no other net's costs: the rest of the schedule is
+         unchanged.) *)
+      if failed_region = Grid.box st.ws.grid then
+        abandoned := n :: !abandoned
+      else unrouted := n :: !unrouted
     in
     (match pool with
     | Some p when speculate ->
@@ -878,7 +1623,8 @@ let route ?(trace = Trace.noop) ?pool ?restrict_regions config placement nets =
           Pool.parallel_init_worker p (Array.length pass_nets)
             (fun ~worker i ->
               let n = pass_nets.(i) in
-              attempt ~ws:clones.(worker) ~extra:(get_extra n) ~present_penalty n)
+              attempt_incremental ~ws:clones.(worker) ~budget:(net_budget n)
+                ~extra:(get_extra n) ~present_penalty ~bidir:(!iter = 1) n)
         in
         (* Arbitration phase, sequential in the fixed pending order. A
            speculative result is exact unless a net committed earlier this
@@ -892,41 +1638,82 @@ let route ?(trace = Trace.noop) ?pool ?restrict_regions config placement nets =
         Array.iteri
           (fun i n ->
             let clean =
-              let region = region_of ~extra:(get_extra n) n in
+              let region = dirty_region n in
               not (List.exists (fun b -> Cuboid.intersect b region <> None) !dirty)
             in
             let result =
               if clean then spec.(i)
               else begin
                 incr respeculated;
-                attempt ~ws ~extra:(get_extra n) ~present_penalty n
+                attempt_incremental ~ws ~budget:(net_budget n)
+                  ~extra:(get_extra n) ~present_penalty ~bidir:(!iter = 1) n
               end
             in
             match result with
-            | Some rn ->
-                on_committed n rn;
+            | Some ((rn, _) as committed) ->
+                on_committed n committed;
                 dirty := path_bbox rn.path :: !dirty
             | None -> on_failed n)
           pass_nets
     | Some _ | None ->
         List.iter
           (fun n ->
-            match attempt ~ws ~extra:(get_extra n) ~present_penalty n with
-            | Some rn -> on_committed n rn
+            match
+              attempt_incremental ~ws ~budget:(net_budget n)
+                ~extra:(get_extra n) ~present_penalty ~bidir:(!iter = 1) n
+            with
+            | Some committed -> on_committed n committed
             | None -> on_failed n)
           !pending);
     let ripped = ref [] in
+    Hashtbl.reset splice_info;
+    let conflict_cells : (int, (int, unit) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let record id cell =
+      let cells =
+        match Hashtbl.find_opt conflict_cells id with
+        | Some t -> t
+        | None ->
+            let t = Hashtbl.create 8 in
+            Hashtbl.add conflict_cells id t;
+            t
+      in
+      Hashtbl.replace cells cell ()
+    in
+    let victims = conflicted_nets ~record () in
+    (* Splice candidates must be captured before any uncommit: the cascade
+       rips nets the arbitration never condemned, and a victim's own path
+       disappears from [st.committed] as it is ripped. *)
+    if config.splice then
+      List.iter
+        (fun id ->
+          match
+            (Hashtbl.find_opt st.committed id, Hashtbl.find_opt conflict_cells id)
+          with
+          | Some rn, Some cells ->
+              Hashtbl.replace splice_info id (Array.of_list rn.path, cells)
+          | _ -> ())
+        victims;
     List.iter
       (fun id -> uncommit st id ~requeue:(fun net -> ripped := net :: !ripped))
-      (conflicted_nets ());
+      victims;
     if debug && !iter >= config.max_iterations - 1 then
       List.iter (fun (net : Bridge.net) ->
         Printf.eprintf "debug: net %d RIPPED\n%!" net.Bridge.net_id) !ripped;
     (* A ripped net must look for a detour next time: grow its region too,
-       or it keeps finding the same conflicting corridor. *)
+       or it keeps finding the same conflicting corridor. The step scales
+       with the net's current rip streak — first and second rips stay
+       local (that is what keeps splice corridors small), a net ripped on
+       a streak gets a triple step: its full re-search (the streak gate in
+       [try_splice] forbids splicing) needs room for a genuine detour. *)
     List.iter
       (fun (net : Bridge.net) ->
-        Hashtbl.replace extra net.Bridge.net_id (get_extra net + config.region_expand))
+        let g =
+          config.region_expand
+          * (if streak net.Bridge.net_id >= 2 then 2 else 1)
+        in
+        Hashtbl.replace extra net.Bridge.net_id (get_extra net + g))
       !ripped;
     (* Starvation accounting: losing arbitration extends a net's streak; a
        net that routed and survived the pass resets. Search-failed nets keep
@@ -951,16 +1738,32 @@ let route ?(trace = Trace.noop) ?pool ?restrict_regions config placement nets =
       Trace.incr ~n:attempted pass_span "attempted";
       Trace.incr ~n:(attempted - List.length !unrouted) pass_span "routed";
       Trace.incr ~n:(List.length !unrouted) pass_span "unrouted";
-      Trace.incr ~n:(List.length !ripped) pass_span "ripped"
+      Trace.incr ~n:(List.length !ripped) pass_span "ripped";
+      let exp_after =
+        ws.n_expansions
+        + Array.fold_left (fun a c -> a + c.n_expansions) 0 clones
+      in
+      Trace.incr ~n:(exp_after - exp_before) pass_span "expansions"
     end;
     Trace.close pass_span;
     let next = List.rev_append !unrouted !ripped in
-    (* Most-starved nets route first next pass; ties shortest-first. *)
+    (* Next-pass order, pinned tie-breaks outermost first: conflict-repair
+       candidates route before everything else (a cheap local repair should
+       reclaim its corridor before search-failed nets flood it), then
+       most-starved (largest region growth), ties shortest-first, and the
+       residual order is the stable-sort input order — unrouted in reverse
+       attempt order, then the pinned conflicted_nets fold order. *)
     pending :=
       List.stable_sort
         (fun a b ->
-          let c = Int.compare (get_extra b) (get_extra a) in
-          if c <> 0 then c else Int.compare (net_len a) (net_len b))
+          let sp (n : Bridge.net) =
+            if Hashtbl.mem splice_info n.Bridge.net_id then 0 else 1
+          in
+          let c = Int.compare (sp a) (sp b) in
+          if c <> 0 then c
+          else
+            let c = Int.compare (get_extra b) (get_extra a) in
+            if c <> 0 then c else Int.compare (net_len a) (net_len b))
         next
   done;
   (* If the pass budget ran out mid-negotiation, strip any residual overlap
@@ -979,7 +1782,7 @@ let route ?(trace = Trace.noop) ?pool ?restrict_regions config placement nets =
   let failed =
     List.sort_uniq
       (fun a b -> Int.compare a.Bridge.net_id b.Bridge.net_id)
-      (!pending @ stripped)
+      (!pending @ !abandoned @ stripped)
   in
   let routed =
     Hashtbl.fold (fun _ rn acc -> rn :: acc) st.committed []
@@ -1013,10 +1816,13 @@ let route ?(trace = Trace.noop) ?pool ?restrict_regions config placement nets =
     Array.fold_left (fun acc c -> acc + c.n_expansions) 0 clones
   in
   let spec_pushes = Array.fold_left (fun acc c -> acc + c.n_pushes) 0 clones in
+  let spec_bidir = Array.fold_left (fun acc c -> acc + c.n_bidir) 0 clones in
   if Trace.enabled trace then begin
     Trace.incr ~n:(ws.n_expansions + spec_expansions) trace "astar_expansions";
     Trace.incr ~n:(ws.n_pushes + spec_pushes) trace "heap_pushes";
     if speculate then Trace.incr ~n:!respeculated trace "nets_respeculated";
+    Trace.incr ~n:!spliced_reroutes trace "spliced_reroutes";
+    Trace.incr ~n:(ws.n_bidir + spec_bidir) trace "bidir_searches";
     Trace.incr ~n:!iterations_used trace "ripup_passes";
     Trace.incr ~n:!total_ripped trace "nets_ripped";
     Trace.incr ~n:(List.length stripped) trace "nets_stripped";
@@ -1084,6 +1890,13 @@ module Search = struct
       ?(present_penalty = 2.0) t ~region ~starts ~goals ~target =
     search_kernel kernel t.ws ~max_expansions ~present_penalty ~exact
       ~occ:t.occ ~region ~starts ~goals ~target
+
+  let run_bidir ?(exact = false) ?(max_expansions = 100_000)
+      ?(present_penalty = 2.0) t ~region ~start ~goal =
+    search_bidir t.ws ~max_expansions ~present_penalty ~exact ~occ:t.occ
+      ~region ~start ~goal
+
+  let bidir_searches t = t.ws.n_bidir
 
   let heuristic ?(exact = false) t ~region ~target p =
     match clip_region t.ws.grid region with

@@ -16,7 +16,17 @@
     at a present-sharing penalty that doubles every pass; conflicted nets
     (two interiors on one cell) are ripped up and re-routed, with pin-mouth
     cells pre-charged and arbitration keeping the net whose own mouth the
-    contested cell is. A dense occupancy grid answers the per-cell queries. *)
+    contested cell is. A dense occupancy grid answers the per-cell queries.
+
+    The re-route schedule is incremental ({!config.splice}): an arbitration
+    victim first repairs only the corridor around its conflict window with a
+    bidirectional search ({!Search.run_bidir}) and splices the repair onto
+    its surviving prefix/suffix; per-net expansion budgets tighten as the
+    present penalty saturates, and region growth scales with each net's rip
+    streak instead of doubling blindly. Tie-breaks (repair candidates first,
+    then largest region growth, then shortest net, then the pinned
+    conflicted-nets order) are part of the determinism contract the volume
+    baselines pin. *)
 
 type config = {
   max_iterations : int;   (** routing passes, >= 1 *)
@@ -26,6 +36,15 @@ type config = {
   sky : int;              (** free layers kept above the top tier *)
   friend_aware : bool;
   max_expansions : int;   (** A* node budget per attempt (fail-fast) *)
+  splice : bool;
+      (** incremental conflict-local re-routing: a ripped net first repairs
+          only its conflict window with a bidirectional corridor search and
+          splices the result onto the surviving prefix/suffix; the full
+          regional re-search remains the fallback (and, under
+          TQEC_ROUTE_REFERENCE=1, the referee) *)
+  splice_margin : int;
+      (** path cells cut back on each side of the conflict window before a
+          splice repair, so the corridor search rejoins smoothly *)
 }
 
 val default_config : config
@@ -71,8 +90,10 @@ val route :
     region intersects a path committed earlier in the same pass. The routed
     layout — paths, volume, rip-up schedule — is bit-identical for every
     domain count; only the telemetry counters ([astar_expansions],
-    [heap_pushes], [nets_respeculated]) reflect the speculative extra work.
-    With a 1-domain pool the sequential path runs unchanged.
+    [heap_pushes], [bidir_searches], [nets_respeculated]) reflect the
+    speculative extra work ([spliced_reroutes] counts committed repairs and
+    is itself domain-count-invariant). With a 1-domain pool the sequential
+    path runs unchanged.
 
     [restrict_regions] (default [true]) is a test hook: [false] searches the
     whole grid for every net instead of the restricted per-net regions of
@@ -137,11 +158,33 @@ module Search : sig
       ignored. The search aborts after exactly [max_expansions] node
       expansions (stale and terminal pops are not counted). *)
 
+  val run_bidir :
+    ?exact:bool ->
+    ?max_expansions:int ->
+    ?present_penalty:float ->
+    t ->
+    region:Tqec_geom.Cuboid.t ->
+    start:Tqec_geom.Point3.t ->
+    goal:Tqec_geom.Point3.t ->
+    Tqec_geom.Point3.t list option
+  (** Bidirectional meet-in-the-middle search between a single [start] and a
+      single [goal], both frontiers running the Dial kernel's cost model and
+      history-aware heuristic aimed at the opposite terminal. Alternation
+      advances the frontier with the smaller minimum f; the frontiers close
+      on the first cell both have stamped, and the glued walk is loop-erased,
+      so the result is always a simple axis-connected path from [start] to
+      [goal] (ends exact, middle near-optimal). [None] when either terminal
+      lies outside [region] or the expansion budget runs dry. The corridor
+      engine behind {!config.splice} repairs. *)
+
   val expansions : t -> int
   (** Cumulative nodes expanded across every [run] on this arena. *)
 
   val pushes : t -> int
   (** Cumulative open-list pushes across every [run] on this arena. *)
+
+  val bidir_searches : t -> int
+  (** Number of [run_bidir] calls on this arena. *)
 
   val heuristic :
     ?exact:bool ->

@@ -248,6 +248,40 @@ let test_dialq_key_decrease () =
     [ (4, 3); (15, 4); (20, 2) ]
     (drain_dialq q)
 
+let test_dialq_last_key_after_clear () =
+  let q = Dialq.create () in
+  Alcotest.(check int) "sentinel before first pop" min_int (Dialq.last_key q);
+  Dialq.push q ~key:6 1;
+  Alcotest.(check int) "pop_min value" 1 (Dialq.pop_min q);
+  Alcotest.(check int) "tracks pop" 6 (Dialq.last_key q);
+  Dialq.clear q;
+  Alcotest.(check int) "clear resets to sentinel" min_int (Dialq.last_key q);
+  Dialq.push q ~key:2 7;
+  Alcotest.(check int) "push leaves sentinel in place" min_int (Dialq.last_key q);
+  Alcotest.(check int) "next generation pop value" 7 (Dialq.pop_min q);
+  Alcotest.(check int) "next generation key" 2 (Dialq.last_key q)
+
+(* The bidirectional kernel holds one Dialq per frontier; finger movement and
+   non-monotone pushes on one queue must never disturb the other's order. *)
+let test_dialq_two_queues_interleaved () =
+  let a = Dialq.create () and b = Dialq.create () in
+  Dialq.push a ~key:9 1;
+  Dialq.push b ~key:7 2;
+  Dialq.push a ~key:3 3;
+  Alcotest.(check (option (pair int int))) "a pops its min" (Some (3, 3))
+    (Dialq.pop a);
+  (* Push below a's scan finger while interleaving pushes into b. *)
+  Dialq.push b ~key:1 4;
+  Dialq.push a ~key:0 5;
+  Dialq.push b ~key:7 6;
+  Alcotest.(check (option (pair int int))) "a's finger moves back" (Some (0, 5))
+    (Dialq.pop a);
+  Alcotest.(check (list (pair int int)))
+    "b unaffected, FIFO on its tie"
+    [ (1, 4); (7, 2); (7, 6) ]
+    (drain_dialq b);
+  Alcotest.(check (list (pair int int))) "a remainder" [ (9, 1) ] (drain_dialq a)
+
 let test_dialq_negative_key () =
   let q = Dialq.create () in
   Alcotest.check_raises "negative key rejected"
@@ -306,6 +340,72 @@ let test_dialq_vs_binheap () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+(* Two-frontier differential: drive a pair of Dialqs through a random
+   interleaving of pushes and pops, then drain them in the bidirectional
+   kernel's alternation order (smaller {!Dialq.peek_key} head first). Each
+   queue is modeled by its own Binheap realizing the documented total order
+   — key ascending, FIFO within a key — so any cross-queue interference or
+   finger corruption from the alternating peeks shows up as a divergence. *)
+let dialq_two_frontier_outcome () =
+  let module P = Tqec_proptest.Property in
+  let module G = Tqec_proptest.Gen in
+  let op =
+    G.pair G.bool
+      (G.frequency
+         [ (3, G.map (fun k -> Some k) (G.int_bound 64)); (2, G.const None) ])
+  in
+  let arb =
+    P.make
+      ~print:(fun ops ->
+        String.concat ";"
+          (List.map
+             (fun (side, o) ->
+               Printf.sprintf "%c%s"
+                 (if side then 'a' else 'b')
+                 (match o with Some k -> string_of_int k | None -> "!"))
+             ops))
+      (G.list ~max_len:300 op)
+  in
+  P.run ~count:200 ~seed:57 ~name:"dialq-two-frontier" arb (fun ops ->
+      let bits = 21 in
+      let mk () = (Dialq.create (), Binheap.create (), ref 0) in
+      let a = mk () and b = mk () in
+      let n = ref 0 in
+      let agree = ref true in
+      let check_pop (q, h, _) =
+        let expect = Dialq.pop q in
+        let got =
+          match Binheap.pop h with
+          | None -> None
+          | Some (nk, (k, v)) ->
+              if -nk asr bits <> k then agree := false;
+              Some (k, v)
+        in
+        if expect <> got then agree := false
+      in
+      let push (q, h, seq) k =
+        Dialq.push q ~key:k !n;
+        Binheap.push h ~key:(-((k lsl bits) + !seq)) (k, !n);
+        incr seq;
+        incr n
+      in
+      List.iter
+        (fun (side, o) ->
+          let f = if side then a else b in
+          match o with Some k -> push f k | None -> check_pop f)
+        ops;
+      let qa, _, _ = a and qb, _, _ = b in
+      while (not (Dialq.is_empty qa)) || not (Dialq.is_empty qb) do
+        if Dialq.peek_key qa <= Dialq.peek_key qb then check_pop a
+        else check_pop b
+      done;
+      !agree)
+
+let test_dialq_two_frontier () =
+  match Tqec_proptest.Property.check (dialq_two_frontier_outcome ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
 let suites =
   [ ( "prelude.rng",
       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
@@ -328,8 +428,11 @@ let suites =
         Alcotest.test_case "peek and pop_min" `Quick test_dialq_peek_pop_min;
         Alcotest.test_case "clear reuse across generations" `Quick test_dialq_clear_reuse;
         Alcotest.test_case "non-monotone key decrease" `Quick test_dialq_key_decrease;
+        Alcotest.test_case "last_key across clear" `Quick test_dialq_last_key_after_clear;
+        Alcotest.test_case "two queues interleaved" `Quick test_dialq_two_queues_interleaved;
         Alcotest.test_case "negative key" `Quick test_dialq_negative_key;
-        Alcotest.test_case "dialq-vs-binheap differential" `Quick test_dialq_vs_binheap ] );
+        Alcotest.test_case "dialq-vs-binheap differential" `Quick test_dialq_vs_binheap;
+        Alcotest.test_case "two-frontier alternate drain" `Quick test_dialq_two_frontier ] );
     ( "prelude.union_find",
       [ Alcotest.test_case "basic" `Quick test_uf_basic;
         Alcotest.test_case "transitive" `Quick test_uf_transitive;

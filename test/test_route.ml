@@ -326,6 +326,139 @@ let test_expansion_budget () =
   Alcotest.(check bool) "zero budget fails" true (path = None);
   Alcotest.(check int) "zero budget zero expansions" 0 (Search.expansions t)
 
+(* --- bidirectional kernel ------------------------------------------------ *)
+
+(* A run_bidir result must be a simple axis-connected walk inside [region]
+   from [start] to [goal] that visits no blocked interior cell — the contract
+   the splice engine relies on when gluing a repair between anchors. *)
+let check_bidir_path name t ~region ~start ~goal path =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c then
+        Alcotest.fail
+          (Printf.sprintf "%s: cell %s repeats (walk not loop-erased)" name
+             (Point3.to_string c));
+      Hashtbl.add seen c ();
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s inside region" name (Point3.to_string c))
+        true
+        (Cuboid.contains_point region c))
+    path;
+  (match path with
+  | [] -> Alcotest.fail (name ^ ": empty path")
+  | first :: _ ->
+      Alcotest.(check string) (name ^ ": starts at start")
+        (Point3.to_string start) (Point3.to_string first);
+      Alcotest.(check string) (name ^ ": ends at goal")
+        (Point3.to_string goal)
+        (Point3.to_string (List.nth path (List.length path - 1))));
+  let rec steps = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s: unit step %s -> %s" name (Point3.to_string a)
+             (Point3.to_string b))
+          1 (Point3.manhattan a b);
+        steps rest
+    | _ -> ()
+  in
+  steps path;
+  ignore t
+
+let test_bidir_simple_corridor () =
+  let t = Search.make ~lo:(p 0 0 0) ~hi:(p 8 1 1) in
+  let region = Cuboid.make (p 0 0 0) (p 8 1 1) in
+  let start = p 0 0 0 and goal = p 7 0 0 in
+  match Search.run_bidir t ~region ~start ~goal with
+  | None -> Alcotest.fail "corridor: no path"
+  | Some path ->
+      check_bidir_path "corridor" t ~region ~start ~goal path;
+      Alcotest.(check int) "corridor: optimal length" 8 (List.length path);
+      Alcotest.(check int) "corridor: one bidir search" 1 (Search.bidir_searches t)
+
+let test_bidir_around_wall () =
+  (* A wall with a single gap: both frontiers must funnel through it and the
+     glued walk must stay simple. *)
+  let t = Search.make ~lo:(p 0 0 0) ~hi:(p 7 5 2) in
+  for y = 0 to 4 do
+    if y <> 2 then Search.block t (p 3 y 0)
+  done;
+  for y = 0 to 4 do
+    Search.block t (p 3 y 1)
+  done;
+  let region = Cuboid.make (p 0 0 0) (p 7 5 2) in
+  let start = p 0 0 0 and goal = p 6 4 0 in
+  match Search.run_bidir t ~region ~start ~goal with
+  | None -> Alcotest.fail "wall: no path"
+  | Some path ->
+      check_bidir_path "wall" t ~region ~start ~goal path;
+      List.iter
+        (fun c ->
+          if c.Point3.x = 3 && not (Point3.equal c (p 3 2 0)) then
+            Alcotest.fail
+              (Printf.sprintf "wall: path crosses the wall at %s"
+                 (Point3.to_string c)))
+        path
+
+let test_bidir_trivial_and_outside () =
+  let t = Search.make ~lo:(p 0 0 0) ~hi:(p 6 6 2) in
+  let region = Cuboid.make (p 1 1 0) (p 5 5 1) in
+  (* start = goal: single-cell path, no expansions needed. *)
+  (match Search.run_bidir t ~region ~start:(p 2 2 0) ~goal:(p 2 2 0) with
+  | Some [ c ] ->
+      Alcotest.(check string) "trivial cell" (Point3.to_string (p 2 2 0))
+        (Point3.to_string c)
+  | Some _ | None -> Alcotest.fail "trivial: expected the one-cell path");
+  (* Either terminal outside the clipped region fails cleanly. *)
+  Alcotest.(check bool) "start outside region" true
+    (Search.run_bidir t ~region ~start:(p 0 0 0) ~goal:(p 2 2 0) = None);
+  Alcotest.(check bool) "goal outside region" true
+    (Search.run_bidir t ~region ~start:(p 2 2 0) ~goal:(p 5 5 1) = None)
+
+let test_bidir_budget_exhaustion () =
+  let mk () = Search.make ~lo:(p 0 0 0) ~hi:(p 8 1 1) in
+  let region = Cuboid.make (p 0 0 0) (p 8 1 1) in
+  let start = p 0 0 0 and goal = p 7 0 0 in
+  (* Zero budget on a non-trivial search fails without expanding. *)
+  let t = mk () in
+  Alcotest.(check bool) "zero budget fails" true
+    (Search.run_bidir ~max_expansions:0 t ~region ~start ~goal = None);
+  Alcotest.(check int) "zero budget zero expansions" 0 (Search.expansions t);
+  (* A starved budget fails; a generous one succeeds on the same arena. *)
+  let t = mk () in
+  Alcotest.(check bool) "starved budget fails" true
+    (Search.run_bidir ~max_expansions:2 t ~region ~start ~goal = None);
+  let t = mk () in
+  Alcotest.(check bool) "ample budget routes" true
+    (Search.run_bidir ~max_expansions:64 t ~region ~start ~goal <> None)
+
+let test_bidir_matches_unidir_cost () =
+  (* On an uncongested arena with history the meet-in-the-middle walk must
+     still cost what the unidirectional kernel pays: same length here, since
+     every step costs the same quantum and both are optimal modulo the
+     heuristic weighting. *)
+  let setup t =
+    Search.block t (p 2 1 0);
+    Search.block t (p 2 2 0);
+    Search.set_history t (p 1 1 0) 0.5
+  in
+  let t_uni = Search.make ~lo:(p 0 0 0) ~hi:(p 6 4 2) in
+  setup t_uni;
+  let t_bi = Search.make ~lo:(p 0 0 0) ~hi:(p 6 4 2) in
+  setup t_bi;
+  let region = Cuboid.make (p 0 0 0) (p 6 4 2) in
+  let start = p 0 0 0 and goal = p 5 3 1 in
+  let uni =
+    Search.run ~exact:true t_uni ~region ~starts:[ start ] ~goals:[ goal ]
+      ~target:goal
+  in
+  let bi = Search.run_bidir ~exact:true t_bi ~region ~start ~goal in
+  match (uni, bi) with
+  | Some u, Some b ->
+      check_bidir_path "uni-vs-bidir" t_bi ~region ~start ~goal b;
+      Alcotest.(check int) "same optimal length" (List.length u) (List.length b)
+  | _ -> Alcotest.fail "uni-vs-bidir: a kernel found no path"
+
 let test_astar_bench_kernels_agree () =
   let icm =
     Tqec_icm.Icm.of_circuit
@@ -388,4 +521,12 @@ let suites =
         Alcotest.test_case "exact heuristic admissible" `Quick test_heuristic_admissible;
         Alcotest.test_case "expansion budget exact" `Quick test_expansion_budget;
         Alcotest.test_case "astar_bench kernels agree" `Quick
-          test_astar_bench_kernels_agree ] ) ]
+          test_astar_bench_kernels_agree ] );
+    ( "route.bidir",
+      [ Alcotest.test_case "simple corridor" `Quick test_bidir_simple_corridor;
+        Alcotest.test_case "around a wall" `Quick test_bidir_around_wall;
+        Alcotest.test_case "trivial and outside region" `Quick
+          test_bidir_trivial_and_outside;
+        Alcotest.test_case "budget exhaustion" `Quick test_bidir_budget_exhaustion;
+        Alcotest.test_case "matches unidirectional cost" `Quick
+          test_bidir_matches_unidir_cost ] ) ]
