@@ -39,12 +39,24 @@ check:
 	$(MAKE) cache
 	@echo "==== check: all stages passed ====================================="
 
-# Determinism & hot-path static analysis (lib/lint) over every .ml under
-# lib/, bin/ and bench/. Exits non-zero on any unsuppressed finding; see
+# Two-tier static analysis (lib/lint) over every .ml under lib/, bin/ and
+# bench/: the syntactic determinism rules plus the typed cross-module rules
+# (task-capture-race, cache-ambient-read, hot-path-alloc) run over .cmt
+# trees. Exits non-zero on any unsuppressed finding; see
 # `dune exec bin/tqec_lint.exe -- --list-rules` for the rule catalogue and
 # DESIGN.md for the suppression policy.
+#
+# Library .cmt files fall out of `dune build`, but executables compile
+# natively and their byte-annotation trees are separate targets — demand
+# them explicitly or the typed tier would report cmt-missing for bin/ and
+# bench/.
 lint: build
-	dune exec bin/tqec_lint.exe -- lib bin bench
+	@targets=""; for f in bin/*.ml bench/*.ml; do \
+	  d=$$(dirname $$f); b=$$(basename $$f .ml); \
+	  M="$$(echo $$b | cut -c1 | tr a-z A-Z)$$(echo $$b | cut -c2-)"; \
+	  targets="$$targets $$d/.$$b.eobjs/byte/dune__exe__$$M.cmt"; \
+	done; dune build $$targets
+	dune exec bin/tqec_lint.exe -- --typed lib bin bench
 
 # Deterministic property-based fuzzing: random circuits through the whole
 # pipeline, checked by the independent layout oracle (lib/verify). A failure

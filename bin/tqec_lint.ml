@@ -1,14 +1,21 @@
 (* Determinism & hot-path lint driver.
 
-   usage: tqec_lint [--json] [--list-rules] [path ...]
+   usage: tqec_lint [--typed] [--json|--github] [--only RULES]
+                    [--ignore RULES] [--cmt-root DIR] [--list-rules]
+                    [path ...]
 
    Paths may be .ml files or directories (recursed; _build and dot-dirs are
    skipped). Defaults to lib bin bench, i.e. the surfaces whose behaviour
-   the perf and fuzz gates depend on. Exits 1 on any unsuppressed finding. *)
+   the perf and fuzz gates depend on. --typed additionally loads .cmt
+   files from --cmt-root (default _build/default) and runs the
+   cross-module rules. Exits 1 on any unsuppressed finding. *)
 
 module Json = Tqec_obs.Json
 
-let usage = "usage: tqec_lint [--json] [--list-rules] [path ...]"
+let usage =
+  "usage: tqec_lint [--typed] [--json|--github] [--only RULES] [--ignore \
+   RULES] [--cmt-root DIR] [--list-rules] [path ...]\n\
+   RULES is a comma-separated list of rule names (see --list-rules)."
 
 let rec ml_files_under path =
   if Sys.is_directory path then begin
@@ -22,29 +29,83 @@ let rec ml_files_under path =
   else if Filename.check_suffix path ".ml" then [ path ]
   else []
 
+type mode = Text | Json_out | Github
+
+let split_rules flag arg =
+  let names = String.split_on_char ',' arg |> List.filter (( <> ) "") in
+  (match names with
+  | [] ->
+      prerr_endline ("tqec_lint: " ^ flag ^ " needs a rule list");
+      exit 2
+  | _ -> ());
+  List.iter
+    (fun n ->
+      if not (Lint.known_rule n) then begin
+        prerr_endline
+          ("tqec_lint: unknown rule " ^ n ^ " (see --list-rules)");
+        exit 2
+      end)
+    names;
+  names
+
 let () =
-  let json = ref false in
+  let mode = ref Text in
+  let typed = ref false in
   let list_rules = ref false in
+  let cmt_root = ref "_build/default" in
+  let only = ref None in
+  let ignore_ = ref [] in
   let paths = ref [] in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--json" -> json := true
-        | "--list-rules" -> list_rules := true
-        | "--help" | "-h" ->
-            print_endline usage;
-            exit 0
-        | _ when String.length arg > 0 && arg.[0] = '-' ->
-            prerr_endline ("tqec_lint: unknown option " ^ arg);
-            prerr_endline usage;
-            exit 2
-        | _ -> paths := arg :: !paths)
-    Sys.argv;
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        mode := Json_out;
+        parse rest
+    | "--github" :: rest ->
+        mode := Github;
+        parse rest
+    | "--typed" :: rest ->
+        typed := true;
+        parse rest
+    | "--list-rules" :: rest ->
+        list_rules := true;
+        parse rest
+    | "--only" :: arg :: rest ->
+        only := Some (split_rules "--only" arg);
+        parse rest
+    | "--ignore" :: arg :: rest ->
+        ignore_ := !ignore_ @ split_rules "--ignore" arg;
+        parse rest
+    | "--cmt-root" :: arg :: rest ->
+        cmt_root := arg;
+        parse rest
+    | ("--only" | "--ignore" | "--cmt-root") :: [] ->
+        prerr_endline "tqec_lint: missing argument";
+        prerr_endline usage;
+        exit 2
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        prerr_endline ("tqec_lint: unknown option " ^ arg);
+        prerr_endline usage;
+        exit 2
+    | arg :: rest ->
+        paths := arg :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   if !list_rules then begin
-    List.iter (fun (name, doc) -> Printf.printf "%-18s %s\n" name doc) Lint.rules;
+    List.iter
+      (fun (name, tier, doc) ->
+        Printf.printf "%-20s %-10s %s\n" name (Lint.tier_name tier) doc)
+      Lint.rules;
     exit 0
   end;
+  let keep name =
+    (match !only with Some names -> List.mem name names | None -> true)
+    && not (List.mem name !ignore_)
+  in
   let roots =
     match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
   in
@@ -52,7 +113,12 @@ let () =
   List.iter (fun p -> prerr_endline ("tqec_lint: no such path " ^ p)) missing;
   if missing <> [] then exit 2;
   let files = List.concat_map ml_files_under roots in
-  let report = Lint.lint_files files in
-  if !json then print_endline (Json.to_string ~pretty:true (Lint.to_json report))
-  else print_string (Lint.to_text report);
+  let report =
+    if !typed then Lint_typed.lint_files ~keep ~cmt_root:!cmt_root files
+    else Lint.lint_files ~keep files
+  in
+  (match !mode with
+  | Json_out -> print_endline (Json.to_string ~pretty:true (Lint.to_json report))
+  | Github -> print_string (Lint.to_github report)
+  | Text -> print_string (Lint.to_text report));
   exit (if report.Lint.findings = [] then 0 else 1)

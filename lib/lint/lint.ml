@@ -1,5 +1,11 @@
 module Json = Tqec_obs.Json
+module Pool = Tqec_prelude.Pool
+module Stopwatch = Tqec_prelude.Stopwatch
 open Parsetree
+
+type tier = Syntactic | Typed
+
+let tier_name = function Syntactic -> "syntactic" | Typed -> "typed"
 
 type finding = {
   rule : string;
@@ -7,6 +13,7 @@ type finding = {
   line : int;
   col : int;
   message : string;
+  tier : tier;
 }
 
 type suppressed = { s_finding : finding; s_justification : string }
@@ -15,9 +22,12 @@ type report = {
   findings : finding list;
   suppressed : suppressed list;
   files_scanned : int;
+  wall_s : float;
 }
 
 let attr_name = "tqec.allow"
+let hot_attr_name = "tqec.hot"
+let schema_version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Rule registry                                                      *)
@@ -32,44 +42,91 @@ let rule_nth = "list-nth"
 let rule_exit = "exit"
 let rule_domain = "domain-spawn"
 let rule_fs_write = "fs-write"
+let rule_race = "task-capture-race"
+let rule_cache = "cache-ambient-read"
+let rule_hot = "hot-path-alloc"
 let pseudo_parse = "parse-error"
 let pseudo_bad_allow = "bad-allow"
 let pseudo_unused = "unused-allow"
+let pseudo_cmt_missing = "cmt-missing"
+let pseudo_cmt_stale = "cmt-stale"
 
 let rules =
   [ ( rule_hashtbl,
+      Syntactic,
       "Hashtbl.iter/Hashtbl.fold enumerate in hash order; sort the result in \
        the same expression (List.sort/sort_uniq/stable_sort) or justify why \
        the order cannot be observed" );
     ( rule_poly,
+      Syntactic,
       "polymorphic compare/Hashtbl.hash, or a comparison operator applied to \
        a syntactically composite operand (tuple, record, non-constant \
        constructor): use a typed comparator" );
     ( rule_ambient,
+      Syntactic,
       "ambient nondeterminism (Random.*, Sys.time, Unix.gettimeofday, \
        Unix.time) outside lib/prelude: thread an Rng.t or use \
        Stopwatch.now_s" );
     ( rule_float_eq,
+      Syntactic,
       "equality against a float literal is representation-fragile; compare \
        with a tolerance or restructure" );
     ( rule_catch_all,
+      Syntactic,
       "`with _ ->` swallows every exception including Out_of_memory and \
        Stack_overflow; match the exceptions actually expected" );
     ( rule_nth,
+      Syntactic,
       "List.nth is O(n) per access (O(n^2) in loops); use an array, List.hd \
        or a single traversal" );
-    (rule_exit, "Stdlib.exit outside bin/ hides control flow from callers");
+    (rule_exit, Syntactic, "Stdlib.exit outside bin/ hides control flow from callers");
     ( rule_domain,
+      Syntactic,
       "raw parallelism primitives (Domain.spawn/Domain.join/Mutex.create) \
        outside lib/prelude: go through Taskpool so chunking, result order \
        and exception propagation stay deterministic" );
     ( rule_fs_write,
+      Syntactic,
       "filesystem writes (open_out*, Out_channel.open_*, Sys.rename/remove/\
        mkdir, Unix file mutation) in lib/ outside the artifact store: route \
        persistent state through Tqec_artifact.Store so cache entries stay \
-       atomic and auditable" ) ]
+       atomic and auditable" );
+    ( rule_race,
+      Typed,
+      "a task closure handed to a Taskpool entry point (parallel_init/\
+       parallel_init_worker/parallel_map/parallel_iteri) writes a mutable \
+       location captured from outside the task body; parallel tasks must \
+       return results through their slot, not mutate shared state \
+       (bit-identity contract, PR 5)" );
+    ( rule_cache,
+      Typed,
+      "a Stage.S implementation's run reads ambient state (Sys.getenv, file \
+       reads, module-level mutable globals) transitively, and the same read \
+       is not reachable from key: the artifact store would serve cache hits \
+       across environments that produce different outputs (cache-soundness, \
+       PR 6)" );
+    ( rule_hot,
+      Typed,
+      "an allocating construct (closure, tuple/record/array build, \
+       non-constant constructor, boxed int32/int64, List/Buffer building, \
+       partial application) is transitively reachable from a [@tqec.hot] \
+       kernel; hot loops must run allocation-free" ) ]
 
-let known_rule r = List.exists (fun (n, _) -> String.equal n r) rules
+let known_rule r = List.exists (fun (n, _, _) -> String.equal n r) rules
+
+let rule_tier r =
+  match List.find_opt (fun (n, _, _) -> String.equal n r) rules with
+  | Some (_, t, _) -> t
+  | None ->
+      if String.equal r pseudo_cmt_missing || String.equal r pseudo_cmt_stale
+      then Typed
+      else Syntactic
+
+(* Pseudo-rules are emitted by the harness itself and are not suppressible;
+   they are appended to per-rule summaries after the real registry. *)
+let pseudo_rules =
+  [ pseudo_parse; pseudo_bad_allow; pseudo_unused; pseudo_cmt_missing;
+    pseudo_cmt_stale ]
 
 (* ------------------------------------------------------------------ *)
 (* Identifier helpers                                                 *)
@@ -183,11 +240,24 @@ let rec catch_all_pat p =
 (* Suppression attributes                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* An allow carries two locations: where the attribute itself sits (for
+   unused-allow reports) and the source range of the construct it is
+   attached to. The syntactic tier matches allows by walk scope (a stack);
+   the typed tier, whose findings arrive after the walk from cross-module
+   analysis, matches them by range containment instead. A floating
+   [@@@tqec.allow] covers the remainder of its structure; its range runs to
+   end-of-file, which for a floating allow inside a nested module is
+   slightly wider than its stack scope — acceptable, since it only ever
+   widens an explicitly written suppression. *)
 type allow = {
   al_rule : string;
   al_just : string;
   al_line : int;
   al_col : int;
+  al_sl : int;
+  al_sc : int;
+  al_el : int;
+  al_ec : int;
   mutable al_used : int;
 }
 
@@ -203,8 +273,14 @@ let split_payload s =
 (* Per-file linting state                                              *)
 (* ------------------------------------------------------------------ *)
 
-type state = {
+type scan = {
   st_file : string;
+  st_keep : string -> bool;
+  st_foreign : bool;
+      (* a foreign scan only contributes its allow table (and any typed
+         findings routed into it); its syntactic findings, unused-allow
+         accounting and files_scanned weight are dropped. Used when a typed
+         finding lands in a file outside the requested set. *)
   mutable st_findings : finding list;
   mutable st_suppressed : suppressed list;
   mutable st_stack : allow list;  (* innermost first *)
@@ -212,25 +288,33 @@ type state = {
   mutable st_sorted_depth : int;
 }
 
+let scan_path st = st.st_file
+
 let loc_pos (loc : Location.t) =
   (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
 
-let emit st rule (loc : Location.t) message =
-  let line, col = loc_pos loc in
-  let f = { rule; file = st.st_file; line; col; message } in
-  let suppressible = known_rule rule in
-  match
-    if suppressible then
-      List.find_opt (fun al -> String.equal al.al_rule rule) st.st_stack
-    else None
-  with
-  | Some al ->
-      al.al_used <- al.al_used + 1;
-      st.st_suppressed <- { s_finding = f; s_justification = al.al_just } :: st.st_suppressed
-  | None -> st.st_findings <- f :: st.st_findings
+let loc_end_pos (loc : Location.t) =
+  (loc.loc_end.pos_lnum, loc.loc_end.pos_cnum - loc.loc_end.pos_bol)
 
-(* Returns the allows pushed so the caller can pop them afterwards. *)
-let push_allows st (attrs : attributes) =
+let emit st rule (loc : Location.t) message =
+  if st.st_keep rule && not st.st_foreign then begin
+    let line, col = loc_pos loc in
+    let f = { rule; file = st.st_file; line; col; message; tier = Syntactic } in
+    let suppressible = known_rule rule in
+    match
+      if suppressible then
+        List.find_opt (fun al -> String.equal al.al_rule rule) st.st_stack
+      else None
+    with
+    | Some al ->
+        al.al_used <- al.al_used + 1;
+        st.st_suppressed <- { s_finding = f; s_justification = al.al_just } :: st.st_suppressed
+    | None -> st.st_findings <- f :: st.st_findings
+  end
+
+(* Returns the allows pushed so the caller can pop them afterwards. [range]
+   is the source span of the construct the attributes are attached to. *)
+let push_allows st ~range:(sl, sc, el, ec) (attrs : attributes) =
   let pushed = ref 0 in
   List.iter
     (fun (a : attribute) ->
@@ -258,7 +342,7 @@ let push_allows st (attrs : attributes) =
                 else begin
                   let al =
                     { al_rule = rule; al_just = just; al_line = line; al_col = col;
-                      al_used = 0 }
+                      al_sl = sl; al_sc = sc; al_el = el; al_ec = ec; al_used = 0 }
                   in
                   st.st_stack <- al :: st.st_stack;
                   st.st_allows <- al :: st.st_allows;
@@ -275,6 +359,61 @@ let pop_allows st n =
   for _ = 1 to n do
     match st.st_stack with [] -> () | _ :: tl -> st.st_stack <- tl
   done
+
+let range_of_loc (loc : Location.t) =
+  let sl, sc = loc_pos loc in
+  let el, ec = loc_end_pos loc in
+  (sl, sc, el, ec)
+
+(* ------------------------------------------------------------------ *)
+(* Typed-tier absorption                                               *)
+(* ------------------------------------------------------------------ *)
+
+let pos_leq (l1, c1) (l2, c2) = l1 < l2 || (l1 = l2 && c1 <= c2)
+
+let covers al ~line ~col =
+  pos_leq (al.al_sl, al.al_sc) (line, col) && pos_leq (line, col) (al.al_el, al.al_ec)
+
+(* Innermost covering allow for [rule]: among ranges containing the point,
+   the one starting latest (ranges nest, so the latest start is the
+   tightest). *)
+let covering_allow st ~rule ~line ~col =
+  List.fold_left
+    (fun best al ->
+      if String.equal al.al_rule rule && covers al ~line ~col then
+        match best with
+        | Some b when pos_leq (al.al_sl, al.al_sc) (b.al_sl, b.al_sc) -> best
+        | _ -> Some al
+      else best)
+    None st.st_allows
+
+let add_typed_finding st ~rule ~line ~col ~message =
+  if st.st_keep rule then begin
+    let f = { rule; file = st.st_file; line; col; message; tier = Typed } in
+    match
+      if known_rule rule then covering_allow st ~rule ~line ~col else None
+    with
+    | Some al ->
+        al.al_used <- al.al_used + 1;
+        st.st_suppressed <-
+          { s_finding = f; s_justification = al.al_just } :: st.st_suppressed
+    | None -> st.st_findings <- f :: st.st_findings
+  end
+
+(* When a typed analysis declines to traverse a call edge because an allow
+   covers the call site, the cut is recorded as a suppressed entry so the
+   report still accounts for it (and the allow is not reported unused). *)
+let cut_allowed st ~rule ~line ~col ~note =
+  match if known_rule rule then covering_allow st ~rule ~line ~col else None with
+  | Some al ->
+      al.al_used <- al.al_used + 1;
+      if st.st_keep rule then
+        st.st_suppressed <-
+          { s_finding = { rule; file = st.st_file; line; col; message = note; tier = Typed };
+            s_justification = al.al_just }
+          :: st.st_suppressed;
+      true
+  | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Rule checks                                                         *)
@@ -365,7 +504,7 @@ let check_cases st ~in_try cases =
 let iterator st =
   let open Ast_iterator in
   let expr self e =
-    let pushed = push_allows st e.pexp_attributes in
+    let pushed = push_allows st ~range:(range_of_loc e.pexp_loc) e.pexp_attributes in
     (match e.pexp_desc with
      | Pexp_ident { txt; loc } -> check_ident st loc (ident_name txt)
      | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, args)
@@ -409,19 +548,41 @@ let iterator st =
     pop_allows st pushed
   in
   let value_binding self vb =
-    let pushed = push_allows st vb.pvb_attributes in
+    let pushed = push_allows st ~range:(range_of_loc vb.pvb_loc) vb.pvb_attributes in
     default_iterator.value_binding self vb;
+    pop_allows st pushed
+  in
+  let module_binding self mb =
+    let pushed = push_allows st ~range:(range_of_loc mb.pmb_loc) mb.pmb_attributes in
+    default_iterator.module_binding self mb;
     pop_allows st pushed
   in
   let structure_item self item =
     match item.pstr_desc with
     | Pstr_eval (e, attrs) ->
-        let pushed = push_allows st attrs in
+        let pushed = push_allows st ~range:(range_of_loc item.pstr_loc) attrs in
         self.expr self e;
         pop_allows st pushed
     | _ -> default_iterator.structure_item self item
   in
-  { default_iterator with expr; value_binding; structure_item }
+  (* A floating [@@@tqec.allow "rule: ..."] covers the remaining items of
+     the enclosing structure (file or module body). The pushes accumulate
+     as the items are walked in order and are popped together at the end,
+     so an allow never reaches backwards. *)
+  let structure self items =
+    let pushed = ref 0 in
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_attribute a when String.equal a.attr_name.txt attr_name ->
+            let sl, sc = loc_pos a.attr_loc in
+            pushed := !pushed + push_allows st ~range:(sl, sc, max_int, max_int) [ a ]
+        | _ -> self.structure_item self item)
+      items;
+    pop_allows st !pushed
+  in
+  { default_iterator with expr; value_binding; module_binding; structure_item;
+    structure }
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -435,30 +596,18 @@ let compare_findings a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
 
-let finalize st =
-  List.iter
-    (fun al ->
-      if al.al_used = 0 then
-        st.st_findings <-
-          { rule = pseudo_unused;
-            file = st.st_file;
-            line = al.al_line;
-            col = al.al_col;
-            message =
-              Printf.sprintf "[@%s \"%s: ...\"] suppresses nothing here" attr_name
-                al.al_rule }
-          :: st.st_findings)
-    st.st_allows;
-  { findings = List.sort compare_findings st.st_findings;
-    suppressed =
-      List.sort (fun a b -> compare_findings a.s_finding b.s_finding) st.st_suppressed;
-    files_scanned = 1 }
+let keep_all = fun (_ : string) -> true
 
-let lint_source ~file source =
+let scan_source ?(foreign = false) ?(keep = keep_all) ~file source =
   let st =
     { st_file = file;
+      st_keep = keep;
+      st_foreign = foreign;
       st_findings = [];
       st_suppressed = [];
       st_stack = [];
@@ -476,10 +625,63 @@ let lint_source ~file source =
        let it = iterator st in
        it.structure it structure
    | Error (loc, msg) -> emit st pseudo_parse loc msg);
-  finalize st
+  st
 
 let read_file path =
   In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+
+let scan_file ?(foreign = false) ?(keep = keep_all) path =
+  match try Ok (read_file path) with Sys_error msg -> Error msg with
+  | Ok src -> scan_source ~foreign ~keep ~file:path src
+  | Error msg ->
+      let st = scan_source ~foreign ~keep ~file:path "" in
+      emit st pseudo_parse Location.none msg;
+      st
+
+(* Per-file scans are independent, so stage 5 fans them out over the
+   Taskpool: task [i] scans file [i] and the results come back in slot
+   order, which keeps the merged report identical to the serial one. The
+   sequential path covers nested use (linting from inside a pool task) and
+   the degenerate sizes where pool setup outweighs the parse. *)
+let scan_files ?(keep = keep_all) paths =
+  let arr = Array.of_list paths in
+  if Pool.in_worker () || Array.length arr < 2 then
+    List.map (fun p -> scan_file ~keep p) paths
+  else
+    Array.to_list
+      (Pool.parallel_map (Pool.global ()) (fun p -> scan_file ~keep p) arr)
+
+let finalize_scans ?(wall_s = 0.) scans =
+  let findings = ref [] and suppressed = ref [] and files = ref 0 in
+  List.iter
+    (fun st ->
+      if not st.st_foreign then begin
+        incr files;
+        List.iter
+          (fun al ->
+            if al.al_used = 0 && st.st_keep al.al_rule then
+              st.st_findings <-
+                { rule = pseudo_unused;
+                  file = st.st_file;
+                  line = al.al_line;
+                  col = al.al_col;
+                  message =
+                    Printf.sprintf "[@%s \"%s: ...\"] suppresses nothing here"
+                      attr_name al.al_rule;
+                  tier = Syntactic }
+                :: st.st_findings)
+          st.st_allows
+      end;
+      findings := st.st_findings @ !findings;
+      suppressed := st.st_suppressed @ !suppressed)
+    scans;
+  { findings = List.sort compare_findings !findings;
+    suppressed =
+      List.sort (fun a b -> compare_findings a.s_finding b.s_finding) !suppressed;
+    files_scanned = !files;
+    wall_s }
+
+let lint_source ~file source = finalize_scans [ scan_source ~file source ]
 
 let merge reports =
   { findings =
@@ -488,21 +690,13 @@ let merge reports =
       List.sort
         (fun a b -> compare_findings a.s_finding b.s_finding)
         (List.concat_map (fun r -> r.suppressed) reports);
-    files_scanned = List.fold_left (fun n r -> n + r.files_scanned) 0 reports }
+    files_scanned = List.fold_left (fun n r -> n + r.files_scanned) 0 reports;
+    wall_s = List.fold_left (fun w r -> Float.max w r.wall_s) 0. reports }
 
-let lint_files paths =
-  merge
-    (List.map
-       (fun path ->
-         match try Ok (read_file path) with Sys_error msg -> Error msg with
-         | Ok src -> lint_source ~file:path src
-         | Error msg ->
-             { findings =
-                 [ { rule = pseudo_parse; file = path; line = 1; col = 0;
-                     message = msg } ];
-               suppressed = [];
-               files_scanned = 1 })
-       paths)
+let lint_files ?(keep = keep_all) paths =
+  let t0 = Stopwatch.now_s () in
+  let scans = scan_files ~keep paths in
+  finalize_scans ~wall_s:(Stopwatch.now_s () -. t0) scans
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -511,6 +705,7 @@ let lint_files paths =
 let finding_json f =
   Json.Obj
     [ ("rule", Json.String f.rule);
+      ("tier", Json.String (tier_name f.tier));
       ("file", Json.String f.file);
       ("line", Json.Int f.line);
       ("col", Json.Int f.col);
@@ -521,10 +716,13 @@ let count_rule r name =
     List.length
       (List.filter (fun s -> String.equal s.s_finding.rule name) r.suppressed) )
 
+let summary_rule_names =
+  List.map (fun (n, _, _) -> n) rules @ pseudo_rules
+
 let to_json r =
   let by_rule =
     List.filter_map
-      (fun (name, _) ->
+      (fun name ->
         let found, supp = count_rule r name in
         if found = 0 && supp = 0 then None
         else
@@ -532,11 +730,12 @@ let to_json r =
             ( name,
               Json.Obj
                 [ ("findings", Json.Int found); ("suppressed", Json.Int supp) ] ))
-      (rules
-      @ [ (pseudo_parse, ""); (pseudo_bad_allow, ""); (pseudo_unused, "") ])
+      summary_rule_names
   in
   Json.Obj
-    [ ("files", Json.Int r.files_scanned);
+    [ ("schema_version", Json.Int schema_version);
+      ("files", Json.Int r.files_scanned);
+      ("wall_s", Json.Float r.wall_s);
       ("findings", Json.List (List.map finding_json r.findings));
       ("suppressed",
        Json.List
@@ -558,13 +757,26 @@ let to_text r =
         (Printf.sprintf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule f.message))
     r.findings;
   Buffer.add_string b
-    (Printf.sprintf "%d file(s) scanned, %d finding(s), %d suppressed\n"
-       r.files_scanned (List.length r.findings) (List.length r.suppressed));
+    (Printf.sprintf "%d file(s) scanned in %.2fs, %d finding(s), %d suppressed\n"
+       r.files_scanned r.wall_s (List.length r.findings) (List.length r.suppressed));
   List.iter
-    (fun (name, _) ->
+    (fun name ->
       let found, supp = count_rule r name in
       if found > 0 || supp > 0 then
         Buffer.add_string b
           (Printf.sprintf "  %-18s findings=%d suppressed=%d\n" name found supp))
-    (rules @ [ (pseudo_parse, ""); (pseudo_bad_allow, ""); (pseudo_unused, "") ]);
+    summary_rule_names;
+  Buffer.contents b
+
+(* GitHub Actions workflow commands: one ::error per unsuppressed finding,
+   so findings annotate the diff inline on PRs. Lines/cols are 1-based in
+   the annotation model; our cols are 0-based compiler-style, so shift. *)
+let to_github r =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b
+        (Printf.sprintf "::error file=%s,line=%d,col=%d::[%s] %s\n" f.file f.line
+           (f.col + 1) f.rule f.message))
+    r.findings;
   Buffer.contents b

@@ -1,0 +1,49 @@
+(* cache-ambient-read: a pipeline stage's `run` must not read ambient
+   state that its `key` does not incorporate.
+
+   The artifact cache replays a stage's stored output whenever the key
+   matches, so any input `run` consumes that is invisible to `key` —
+   an environment variable, a file on disk, module-level mutable state —
+   can change without invalidating the cache and silently serve stale
+   volumes. Stage implementations are detected structurally (a module
+   exposing `name`, `version` and `run` values); both `run` and `key`
+   are closed over the call graph, and every ambient fact reachable from
+   `run` whose canonical key (env var name / file primitive / global def)
+   is not also reachable from `key` is reported at the site of the read,
+   with the call chain from `run`. *)
+
+module G = Lint_graph
+
+let check g ~in_units =
+  let facts_from root =
+    match root with
+    | None -> []
+    | Some r ->
+        G.fold_reach g ~root:r
+          ~enter:(fun ~src:_ ~site:_ _ -> true)
+          ~cut:(fun ~src:_ ~site:_ _ -> false)
+          ~init:[]
+          ~f:(fun acc (d : G.def) chain ->
+            List.fold_left
+              (fun acc (amb, site) -> (amb, site, chain) :: acc)
+              acc d.G.d_ambient)
+        |> List.rev
+  in
+  List.concat_map
+    (fun (sg : G.stage) ->
+      if not (in_units sg.G.sg_unit) then []
+      else
+        let covered =
+          List.map (fun (a, _, _) -> G.amb_key a) (facts_from sg.G.sg_key)
+        in
+        facts_from sg.G.sg_run
+        |> List.filter (fun (a, _, _) -> not (List.mem (G.amb_key a) covered))
+        |> List.map (fun (a, site, chain) ->
+               ( site,
+                 Printf.sprintf
+                   "stage %s: run reads %s (reached via %s) but the stage \
+                    key does not incorporate it; cached results can go \
+                    stale when it changes"
+                   sg.G.sg_display (G.amb_display g a)
+                   (String.concat " -> " chain) )))
+    (G.stages g)

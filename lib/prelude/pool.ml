@@ -181,6 +181,12 @@ let tasks_per_worker pool = Array.copy pool.tasks_run
 (* Global pool                                                         *)
 (* ------------------------------------------------------------------ *)
 
+[@@@tqec.allow
+  "cache-ambient-read: TQEC_DOMAINS and the cached pool handle size the \
+   schedule, not the results — chunked reductions are order-fixed, so \
+   outputs are bit-identical across pool sizes (PR 5 determinism contract) \
+   and stage keys exclude parallelism config by design"]
+
 let global_mutex = Mutex.create ()
 let default_domains_ref = ref None
 let global_ref = ref None

@@ -2,6 +2,10 @@
    backwards under NTP adjustment. Clamping every reading to the maximum
    observed so far keeps elapsed times non-negative and non-decreasing, which
    is all the breakdown/trace instrumentation needs. *)
+[@@@tqec.allow
+  "cache-ambient-read: the monotonic-clamp cell feeds trace/breakdown \
+   durations only, never stage payloads, so keys rightly exclude it"]
+
 let last = ref neg_infinity
 
 let now_s () =

@@ -349,7 +349,7 @@ let search_dial ws ~max_expansions ~present_penalty ~exact ~occ ~region ~starts
                    and the grid. The reference kernel runs the same searches
                    through fully checked accesses and the differential suite
                    pins the two bit-identical. *)
-                let step vq cq dh =
+                let[@tqec.hot] step vq cq dh =
                   let rq = vq lsr 30 in
                   if
                     (not (Grid.blocked_unsafe_c grid cq))
@@ -682,7 +682,7 @@ let search_bidir ws ~max_expansions ~present_penalty ~exact ~occ ~region ~start
                 if fwd then begin
                   let g = Bigarray.Array1.unsafe_get rg r in
                   let h = f - g in
-                  let step vq cq dh =
+                  let[@tqec.hot] step vq cq dh =
                     let rq = vq lsr 30 in
                     if traversable rq cq then begin
                       let gq = g + quantum + surcharge rq cq in
@@ -717,7 +717,7 @@ let search_bidir ws ~max_expansions ~present_penalty ~exact ~occ ~region ~start
                      pays for entering it: one surcharge per pop, shared by
                      all six relaxations. *)
                   let step_out = quantum + surcharge r c in
-                  let step vq cq dh =
+                  let[@tqec.hot] step vq cq dh =
                     let rq = vq lsr 30 in
                     if traversable rq cq then begin
                       let gq = g + step_out in
@@ -805,7 +805,10 @@ let search_kernel = function Dial -> search_dial | Reference -> search_reference
    can never change routed paths, volumes or artifact bytes — which is why
    it is an environment toggle and not a config field feeding the stage
    cache key. *)
-let env_kernel () =
+let[@tqec.allow
+     "cache-ambient-read: both kernels implement the same total order over \
+      the same cost model, so the toggle can never change routed paths or \
+      artifact bytes (differential fuzz gate)"] env_kernel () =
   match Sys.getenv_opt "TQEC_ROUTE_REFERENCE" with
   | None | Some "" | Some "0" -> Dial
   | Some _ -> Reference
@@ -1507,7 +1510,11 @@ let route ?(trace = Trace.noop) ?pool ?restrict_regions config placement nets =
         Cuboid.union base (Cuboid.inflate !pb infl)
   in
   let iter = ref 0 in
-  let debug = Sys.getenv_opt "TQEC_ROUTE_DEBUG" <> None in
+  let[@tqec.allow
+       "cache-ambient-read: debug progress goes to stderr only and never \
+        touches routed output"] debug =
+    Sys.getenv_opt "TQEC_ROUTE_DEBUG" <> None
+  in
   let total_ripped = ref 0 in
   let abandoned = ref [] in
   let grid_cells = Cuboid.volume (Grid.box st.ws.grid) in

@@ -1,0 +1,37 @@
+(* Seeded bugs for cache-ambient-read: stages whose run reads ambient
+   state the key never incorporates. *)
+
+let budget () =
+  match Sys.getenv_opt "FIXTURE_BUDGET" with
+  | Some v -> int_of_string v
+  | None -> 64
+
+(* run -> budget -> getenv, but key is input-only: cached results go stale
+   when FIXTURE_BUDGET changes. *)
+module Stage_env = struct
+  let name = "fixture-env"
+  let version = 1
+  let key n = string_of_int n
+  let run n = n * budget ()
+end
+
+(* run reads a config file the key never hashes. *)
+module Stage_file = struct
+  let name = "fixture-file"
+  let version = 1
+  let key n = string_of_int n
+
+  let run n =
+    let cfg = In_channel.with_open_text "fixture.cfg" In_channel.input_all in
+    n + String.length cfg
+end
+
+(* run reads a module-level mutable cell. *)
+let tweak = ref 3
+
+module Stage_global = struct
+  let name = "fixture-global"
+  let version = 1
+  let key n = string_of_int n
+  let run n = n + !tweak
+end

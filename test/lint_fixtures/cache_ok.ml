@@ -1,0 +1,23 @@
+(* Clean variants for cache-ambient-read. *)
+
+let budget () =
+  match Sys.getenv_opt "FIXTURE_BUDGET" with
+  | Some v -> int_of_string v
+  | None -> 64
+
+(* run reads the knob, but so does key: the ambient read flows into the
+   cache key and the stage is sound. *)
+module Stage_keyed = struct
+  let name = "fixture-keyed"
+  let version = 1
+  let key n = Printf.sprintf "%d:%d" n (budget ())
+  let run n = n * budget ()
+end
+
+(* Pure stage: nothing ambient anywhere. *)
+module Stage_pure = struct
+  let name = "fixture-pure"
+  let version = 1
+  let key n = string_of_int n
+  let run n = (n * (n + 1)) / 2
+end

@@ -1,0 +1,9 @@
+(* Seeded bugs for hot-path-alloc: [@tqec.hot] kernels that allocate. *)
+
+(* Direct: a closure and an allocating stdlib call in the hot body. *)
+let[@tqec.hot] midpoints xs = List.map (fun (a, b) -> (a + b) / 2) xs
+
+(* Transitive: the hot function itself is clean, its callee allocates. *)
+let make_cell v = ref v
+
+let[@tqec.hot] via_helper x = !(make_cell x)

@@ -1,0 +1,30 @@
+(* Seeded bugs for task-capture-race: every entry point here hands the
+   Taskpool a task that writes state captured from outside the task. *)
+
+module Pool = Tqec_prelude.Pool
+
+let total = ref 0
+
+(* Lambda argument writing a module-level ref through (:=). *)
+let sum_badly pool xs =
+  ignore
+    (Pool.parallel_map pool
+       (fun x ->
+         total := !total + x;
+         x)
+       xs);
+  !total
+
+(* Lambda argument writing a ref bound in the enclosing function. *)
+let count_badly pool xs =
+  let hits = ref 0 in
+  Pool.parallel_iteri pool (fun _ x -> if x > 0 then incr hits) xs;
+  !hits
+
+(* Named task function resolved through the def table: the shared slot is
+   written by every task. *)
+let slots = Array.make 8 0
+
+let step i = slots.(0) <- slots.(0) + i
+
+let run_steps pool = ignore (Pool.parallel_init pool 8 step)

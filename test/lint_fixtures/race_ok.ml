@@ -1,0 +1,26 @@
+(* Clean variants for task-capture-race: tasks that only read captures or
+   write task-owned state, plus one reviewed disjoint-slot write behind the
+   escape hatch. *)
+
+module Pool = Tqec_prelude.Pool
+
+let doubled pool xs = Pool.parallel_map pool (fun x -> 2 * x) xs
+
+(* The ref is task-interior: each task owns its own accumulator. *)
+let triangle pool n =
+  Pool.parallel_init pool n (fun i ->
+      let acc = ref 0 in
+      for k = 0 to i do
+        acc := !acc + k
+      done;
+      !acc)
+
+(* Disjoint per-slot writes are the sanctioned pattern, but the rule cannot
+   prove disjointness — the allow is the reviewed sign-off. *)
+let fill pool out =
+  ignore
+    (Pool.parallel_init pool (Array.length out) (fun i ->
+         (out.(i) <- i)
+         [@tqec.allow
+           "task-capture-race: slot i is written by task i only, indices \
+            are disjoint by construction"]))

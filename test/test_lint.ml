@@ -264,12 +264,296 @@ let test_merge_and_json () =
      String.length text >= String.length prefix
      && String.equal (String.sub text 0 (String.length prefix)) prefix)
 
+let test_suppression_module_binding_level () =
+  let r =
+    lint
+      "module[@tqec.allow \"list-nth: fixture module is two elements deep\"] \
+       M = struct\n\
+      \  let f l = List.nth l 0\n\
+       end"
+  in
+  Alcotest.(check (list string)) "no findings" [] (rules_of r);
+  Alcotest.(check int) "suppressed inside the module" 1
+    (List.length r.Lint.suppressed)
+
+let test_suppression_floating () =
+  (* A floating [@@@tqec.allow] covers the rest of the structure — the
+     violation before it still stands. *)
+  let r =
+    lint
+      "let f l = List.nth l 0\n\
+       [@@@tqec.allow \"list-nth: everything below is fixture code\"]\n\
+       let g l = List.nth l 1\n\
+       let h l = List.nth l 2"
+  in
+  Alcotest.(check (list string)) "only the pre-attribute site survives"
+    [ "list-nth" ] (rules_of r);
+  (match r.Lint.findings with
+   | [ f ] -> Alcotest.(check int) "surviving finding is line 1" 1 f.Lint.line
+   | _ -> Alcotest.fail "expected exactly one finding");
+  Alcotest.(check int) "both later sites suppressed" 2
+    (List.length r.Lint.suppressed)
+
 let test_rule_registry () =
-  Alcotest.(check int) "nine real rules" 9 (List.length Lint.rules);
+  Alcotest.(check int) "twelve real rules" 12 (List.length Lint.rules);
   List.iter
-    (fun (name, doc) ->
-      Alcotest.(check bool) ("doc for " ^ name) true (String.length doc > 0))
-    Lint.rules
+    (fun (name, _, doc) ->
+      Alcotest.(check bool) ("doc for " ^ name) true (String.length doc > 0);
+      Alcotest.(check bool) ("known " ^ name) true (Lint.known_rule name))
+    Lint.rules;
+  let typed =
+    List.filter (fun (_, t, _) -> t = Lint.Typed) Lint.rules |> List.map (fun (n, _, _) -> n)
+  in
+  Alcotest.(check (list string)) "typed tier rules"
+    [ "task-capture-race"; "cache-ambient-read"; "hot-path-alloc" ] typed;
+  Alcotest.(check bool) "pseudo-rules are not suppressible targets" false
+    (Lint.known_rule "parse-error")
+
+(* ------------------------------------------------------------------ *)
+(* Typed tier: fixture library under test/lint_fixtures                *)
+(* ------------------------------------------------------------------ *)
+
+(* dune runtest runs this binary from _build/default/test, where the
+   fixture sources and their .cmt artifacts both live under
+   lint_fixtures/; a manual run from the repo root finds the sources in
+   test/lint_fixtures and the cmts under _build. *)
+let fixture_src name =
+  let candidates = [ "lint_fixtures"; "test/lint_fixtures" ] in
+  match
+    List.find_opt
+      (fun d -> Sys.file_exists (Filename.concat d name))
+      candidates
+  with
+  | Some d -> Filename.concat d name
+  | None -> Alcotest.failf "fixture %s not found (cwd %s)" name (Sys.getcwd ())
+
+let fixture_cmt_root () =
+  let src_dir = Filename.dirname (fixture_src "race_bad.ml") in
+  if Sys.file_exists (Filename.concat src_dir ".tqec_lint_fixtures.objs")
+  then src_dir
+  else "_build/default/test/lint_fixtures"
+
+let typed_lint ?keep names =
+  Lint_typed.lint_files ?keep ~cmt_root:(fixture_cmt_root ())
+    (List.map fixture_src names)
+
+let findings_for r file rule =
+  List.filter
+    (fun f ->
+      Filename.basename f.Lint.file = file && String.equal f.Lint.rule rule)
+    r.Lint.findings
+
+let suppressed_for r file rule =
+  List.filter
+    (fun s ->
+      Filename.basename s.Lint.s_finding.Lint.file = file
+      && String.equal s.Lint.s_finding.Lint.rule rule)
+    r.Lint.suppressed
+
+let test_typed_race_fixtures () =
+  let r = typed_lint [ "race_bad.ml"; "race_ok.ml" ] in
+  let bad = findings_for r "race_bad.ml" "task-capture-race" in
+  (* One per seeded bug: module-ref via :=, local ref via incr, named step
+     function via Array.set. *)
+  Alcotest.(check int) "three seeded races" 3 (List.length bad);
+  List.iter
+    (fun f -> Alcotest.(check bool) "typed tier" true (f.Lint.tier = Lint.Typed))
+    bad;
+  Alcotest.(check (list string)) "clean variants silent" []
+    (List.map
+       (fun f -> f.Lint.rule)
+       (findings_for r "race_ok.ml" "task-capture-race"));
+  (* The disjoint-slot write is flagged but rides the reviewed allow. *)
+  Alcotest.(check int) "allowed slot write recorded as suppressed" 1
+    (List.length (suppressed_for r "race_ok.ml" "task-capture-race"))
+
+let test_typed_cache_fixtures () =
+  let r = typed_lint [ "cache_bad.ml"; "cache_ok.ml" ] in
+  let bad = findings_for r "cache_bad.ml" "cache-ambient-read" in
+  (* env read, file read, module-level mutable global. *)
+  Alcotest.(check int) "three seeded stale-key stages" 3 (List.length bad);
+  let mentions sub =
+    List.exists
+      (fun f ->
+        let msg = f.Lint.message in
+        let n = String.length sub in
+        let rec scan i =
+          i + n <= String.length msg
+          && (String.equal (String.sub msg i n) sub || scan (i + 1))
+        in
+        scan 0)
+      bad
+  in
+  Alcotest.(check bool) "env fact surfaced" true (mentions "FIXTURE_BUDGET");
+  Alcotest.(check bool) "file fact surfaced" true (mentions "In_channel");
+  Alcotest.(check bool) "global fact surfaced" true
+    (mentions "module-level mutable");
+  Alcotest.(check bool) "call chain in message" true (mentions "run ->");
+  Alcotest.(check (list string)) "keyed + pure stages silent" []
+    (List.map
+       (fun f -> f.Lint.rule)
+       (findings_for r "cache_ok.ml" "cache-ambient-read"))
+
+let test_typed_hot_fixtures () =
+  let r = typed_lint [ "hot_bad.ml"; "hot_ok.ml" ] in
+  let bad = findings_for r "hot_bad.ml" "hot-path-alloc" in
+  (* midpoints: List.map + closure; via_helper: transitive ref in callee. *)
+  Alcotest.(check int) "three seeded hot allocations" 3 (List.length bad);
+  Alcotest.(check bool) "transitive finding names the chain" true
+    (List.exists
+       (fun f ->
+         f.Lint.line = 7
+         (* the ref inside make_cell, reached from via_helper *))
+       bad);
+  Alcotest.(check (list string)) "pure-int kernels silent" []
+    (List.map
+       (fun f -> f.Lint.rule)
+       (findings_for r "hot_ok.ml" "hot-path-alloc"));
+  Alcotest.(check int) "allowed scratch alloc recorded as suppressed" 1
+    (List.length (suppressed_for r "hot_ok.ml" "hot-path-alloc"))
+
+let test_typed_keep_filter () =
+  (* Dropping a typed rule skips its analysis entirely and exempts its
+     allows from unused-allow. *)
+  let r =
+    typed_lint
+      ~keep:(fun rule -> not (String.equal rule "hot-path-alloc"))
+      [ "hot_bad.ml"; "hot_ok.ml" ]
+  in
+  Alcotest.(check (list string)) "no findings at all" [] (rules_of r)
+
+let test_typed_cmt_missing () =
+  let tmp = Filename.temp_file "tqec_lint_nocmt" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text tmp (fun oc ->
+          output_string oc "let answer = 42\n");
+      let r =
+        Lint_typed.lint_files ~cmt_root:(fixture_cmt_root ()) [ tmp ]
+      in
+      match r.Lint.findings with
+      | [ f ] ->
+          Alcotest.(check string) "rule" "cmt-missing" f.Lint.rule;
+          Alcotest.(check bool) "typed tier" true (f.Lint.tier = Lint.Typed);
+          Alcotest.(check bool) "message says how to build" true
+            (let msg = f.Lint.message in
+             let sub = "dune build" in
+             let n = String.length sub in
+             let rec scan i =
+               i + n <= String.length msg
+               && (String.equal (String.sub msg i n) sub || scan (i + 1))
+             in
+             scan 0)
+      | l ->
+          Alcotest.failf "expected exactly the cmt-missing finding, got %d"
+            (List.length l))
+
+let test_typed_cmt_stale () =
+  (* Same basename as a compiled fixture, different bytes: the typed tier
+     must refuse to pair them and say the cmt is stale. *)
+  let dir = Filename.temp_file "tqec_lint_stale" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let tmp = Filename.concat dir "race_bad.ml" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text tmp (fun oc ->
+          output_string oc "let edited_since_build = true\n");
+      let r =
+        Lint_typed.lint_files ~cmt_root:(fixture_cmt_root ()) [ tmp ]
+      in
+      Alcotest.(check (list string)) "stale reported" [ "cmt-stale" ]
+        (rules_of r))
+
+(* ------------------------------------------------------------------ *)
+(* Report JSON: schema and round-trip property                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_schema_v2 () =
+  let r = typed_lint [ "hot_bad.ml" ] in
+  let j = Lint.to_json r in
+  (match Json.path [ "schema_version" ] j with
+   | Some (Json.Int v) ->
+       Alcotest.(check int) "schema version" Lint.schema_version v;
+       Alcotest.(check int) "v2" 2 v
+   | _ -> Alcotest.fail "schema_version missing");
+  (match Json.path [ "findings" ] j with
+   | Some (Json.List fs) ->
+       Alcotest.(check bool) "at least one finding" true (fs <> []);
+       List.iter
+         (fun f ->
+           match f with
+           | Json.Obj kvs ->
+               let tier = List.assoc_opt "tier" kvs in
+               Alcotest.(check bool) "tier tag present and typed" true
+                 (tier = Some (Json.String "typed"))
+           | _ -> Alcotest.fail "finding is not an object")
+         fs
+   | _ -> Alcotest.fail "findings missing");
+  match Json.path [ "wall_s" ] j with
+  | Some (Json.Float _) -> ()
+  | _ -> Alcotest.fail "wall_s missing"
+
+let test_report_json_round_trip_property () =
+  let module Gen = Tqec_proptest.Gen in
+  let module Property = Tqec_proptest.Property in
+  let ident = Gen.string ~max_len:12 (Gen.char_range 'a' 'z') in
+  let text = Gen.string ~max_len:30 (Gen.char_range ' ' '~') in
+  let tier = Gen.oneofl [ Lint.Syntactic; Lint.Typed ] in
+  let finding =
+    Gen.map2
+      (fun (rule, file, message) (line, col, tier) ->
+        { Lint.rule; file; line; col; message; tier })
+      (Gen.triple ident ident text)
+      (Gen.triple (Gen.int_range 1 9999) (Gen.int_range 0 400) tier)
+  in
+  let report =
+    Gen.map2
+      (fun (findings, suppressed) (files_scanned, wall_s) ->
+        { Lint.findings;
+          suppressed =
+            List.map
+              (fun (f, j) -> { Lint.s_finding = f; s_justification = j })
+              suppressed;
+          files_scanned;
+          wall_s })
+      (Gen.pair
+         (Gen.list ~max_len:6 finding)
+         (Gen.list ~max_len:4 (Gen.pair finding text)))
+      (Gen.pair (Gen.int_range 0 200) (Gen.float_range 0.0 60.0))
+  in
+  let arb =
+    Property.make
+      ~print:(fun r -> Json.to_string ~pretty:false (Lint.to_json r))
+      report
+  in
+  let outcome =
+    Property.run ~count:150 ~seed:23 ~name:"lint-report-json-round-trip" arb
+      (fun r ->
+        let j = Lint.to_json r in
+        List.for_all
+          (fun pretty ->
+            match Json.of_string (Json.to_string ~pretty j) with
+            | Ok parsed -> Json.equal j parsed
+            | Error _ -> false)
+          [ false; true ])
+  in
+  match Property.check outcome with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_github_output () =
+  let r = lint ~file:"lib/a.ml" "let f l = List.nth l 0" in
+  let gh = Lint.to_github r in
+  let prefix = "::error file=lib/a.ml,line=1," in
+  Alcotest.(check bool) "workflow command emitted" true
+    (String.length gh >= String.length prefix
+     && String.equal (String.sub gh 0 (String.length prefix)) prefix);
+  let clean = lint "let f x = x + 1" in
+  Alcotest.(check string) "clean report emits nothing" ""
+    (Lint.to_github clean)
 
 let suites =
   [ ( "lint",
@@ -290,9 +574,24 @@ let suites =
           test_suppression_binding_level_and_count;
         Alcotest.test_case "suppression: rule scoped" `Quick
           test_suppression_is_rule_scoped;
+        Alcotest.test_case "suppression: module binding" `Quick
+          test_suppression_module_binding_level;
+        Alcotest.test_case "suppression: floating" `Quick
+          test_suppression_floating;
         Alcotest.test_case "unused allow" `Quick test_unused_allow;
         Alcotest.test_case "bad allow" `Quick test_bad_allow;
         Alcotest.test_case "parse error" `Quick test_parse_error;
         Alcotest.test_case "locations" `Quick test_locations;
         Alcotest.test_case "merge + json + text" `Quick test_merge_and_json;
-        Alcotest.test_case "rule registry" `Quick test_rule_registry ] ) ]
+        Alcotest.test_case "rule registry" `Quick test_rule_registry;
+        Alcotest.test_case "github output" `Quick test_github_output ] );
+    ( "lint-typed",
+      [ Alcotest.test_case "race fixtures" `Quick test_typed_race_fixtures;
+        Alcotest.test_case "cache fixtures" `Quick test_typed_cache_fixtures;
+        Alcotest.test_case "hot fixtures" `Quick test_typed_hot_fixtures;
+        Alcotest.test_case "keep filter" `Quick test_typed_keep_filter;
+        Alcotest.test_case "cmt missing" `Quick test_typed_cmt_missing;
+        Alcotest.test_case "cmt stale" `Quick test_typed_cmt_stale;
+        Alcotest.test_case "json schema v2" `Quick test_json_schema_v2;
+        Alcotest.test_case "report json round-trip" `Quick
+          test_report_json_round_trip_property ] ) ]
